@@ -1,0 +1,144 @@
+// Design-choice ablations (DESIGN.md Sec. 4), via google-benchmark:
+//   * GSLF/GSLD pair: multigrid vs FFT Hartree solve
+//   * SoA vs AoS wavefunction layout for kin_prop (the Sec. V.B.2 claim)
+//   * DSA incremental Hartree update vs full multigrid re-solve
+//   * shadow-dynamics traffic vs hypothetical full wavefunction transfer
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numbers>
+
+#include "mlmd/fft/fft.hpp"
+#include "mlmd/lfd/dsa.hpp"
+#include "mlmd/lfd/kin_prop.hpp"
+#include "mlmd/mg/multigrid.hpp"
+
+namespace {
+
+std::vector<double> test_rho(std::size_t n) {
+  std::vector<double> rho(n * n * n);
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t z = 0; z < n; ++z)
+        rho[(x * n + y) * n + z] =
+            std::cos(2.0 * std::numbers::pi * static_cast<double>(x) / n) *
+            std::cos(2.0 * std::numbers::pi * static_cast<double>(y) / n);
+  return rho;
+}
+
+void BM_HartreeMultigrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double h = 10.0 / static_cast<double>(n);
+  mlmd::mg::MgOptions opt;
+  opt.tol = 1e-6;
+  mlmd::mg::Multigrid mg(n, n, n, h, h, h, opt);
+  auto rho = test_rho(n);
+  for (auto& v : rho) v *= 4.0 * std::numbers::pi;
+  std::vector<double> phi;
+  for (auto _ : state) {
+    phi.assign(rho.size(), 0.0);
+    mg.solve(rho, phi);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+BENCHMARK(BM_HartreeMultigrid)->Arg(16)->Arg(32);
+
+void BM_HartreeFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto rho = test_rho(n);
+  std::vector<double> phi;
+  for (auto _ : state) {
+    mlmd::fft::poisson_periodic(rho, phi, n, n, n, 10.0, 10.0, 10.0);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+BENCHMARK(BM_HartreeFft)->Arg(16)->Arg(32);
+
+void BM_KinPropSoA(benchmark::State& state) {
+  const auto norb = static_cast<std::size_t>(state.range(0));
+  mlmd::grid::Grid3 g{16, 16, 16, 0.5, 0.5, 0.5};
+  mlmd::lfd::SoAWave<float> w(g, norb);
+  mlmd::lfd::init_plane_waves(w);
+  mlmd::lfd::KinParams kp;
+  kp.dt = 0.04;
+  for (auto _ : state) {
+    mlmd::lfd::kin_prop(w, kp, mlmd::lfd::KinVariant::kBlocked);
+    benchmark::DoNotOptimize(w.psi.data());
+  }
+}
+BENCHMARK(BM_KinPropSoA)->Arg(16)->Arg(64);
+
+void BM_KinPropAoS(benchmark::State& state) {
+  const auto norb = static_cast<std::size_t>(state.range(0));
+  mlmd::grid::Grid3 g{16, 16, 16, 0.5, 0.5, 0.5};
+  mlmd::lfd::SoAWave<float> ws(g, norb);
+  mlmd::lfd::init_plane_waves(ws);
+  auto w = mlmd::lfd::to_aos(ws);
+  mlmd::lfd::KinParams kp;
+  kp.dt = 0.04;
+  for (auto _ : state) {
+    mlmd::lfd::kin_prop_aos(w, kp);
+    benchmark::DoNotOptimize(w.psi.data());
+  }
+}
+BENCHMARK(BM_KinPropAoS)->Arg(16)->Arg(64);
+
+void BM_DsaUpdate(benchmark::State& state) {
+  const std::size_t n = 16;
+  mlmd::grid::Grid3 g{n, n, n, 0.6, 0.6, 0.6};
+  mlmd::lfd::DsaHartree dsa(g);
+  auto rho = test_rho(n);
+  dsa.solve(rho);
+  for (auto _ : state) {
+    // Slightly drifting density, as between QD steps.
+    for (auto& v : rho) v *= 1.0001;
+    dsa.update(rho);
+    benchmark::DoNotOptimize(dsa.potential().data());
+  }
+}
+BENCHMARK(BM_DsaUpdate);
+
+void BM_DsaFullResolve(benchmark::State& state) {
+  const std::size_t n = 16;
+  mlmd::grid::Grid3 g{n, n, n, 0.6, 0.6, 0.6};
+  mlmd::lfd::DsaHartree dsa(g);
+  auto rho = test_rho(n);
+  for (auto _ : state) {
+    for (auto& v : rho) v *= 1.0001;
+    dsa.solve(rho);
+    benchmark::DoNotOptimize(dsa.potential().data());
+  }
+}
+BENCHMARK(BM_DsaFullResolve);
+
+void BM_ShadowTrafficPack(benchmark::State& state) {
+  // Packing the shadow-dynamics payload (delta_f, N_orb doubles)...
+  const std::size_t norb = 1024;
+  std::vector<double> df(norb, 0.001), buf(norb);
+  for (auto _ : state) {
+    std::memcpy(buf.data(), df.data(), norb * sizeof(double));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(norb * sizeof(double)));
+}
+BENCHMARK(BM_ShadowTrafficPack);
+
+void BM_FullWavefunctionPack(benchmark::State& state) {
+  // ...vs what moving the whole wavefunction array would cost (16^3 grid,
+  // 64 orbitals, complex<float>): the transfer shadow dynamics avoids.
+  const std::size_t count = 16 * 16 * 16 * 64;
+  std::vector<std::complex<float>> psi(count), buf(count);
+  for (auto _ : state) {
+    std::memcpy(buf.data(), psi.data(), count * sizeof(std::complex<float>));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count * sizeof(std::complex<float>)));
+}
+BENCHMARK(BM_FullWavefunctionPack);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Fig. 5 reproduction: XS-NNQMD weak scaling (a) at 160k / 640k / 10.24M
+// atoms per rank and strong scaling (b) for 221.4M and 984M atoms.
+//
+// The per-atom inference cost is MEASURED from real AtomModel inference on
+// this host; the halo/allreduce terms come from the calibrated network
+// model. Expected shape: weak efficiencies ~0.957 / 0.964 / 0.997
+// (better at larger granularity); strong efficiency 0.773 for the large
+// problem but collapsing to ~0.44 for the small one (comm/compute ratio).
+
+#include <cstdio>
+#include <vector>
+
+#include "mlmd/common/cli.hpp"
+#include "mlmd/common/timer.hpp"
+#include "mlmd/nnq/allegro.hpp"
+#include "mlmd/perf/machine.hpp"
+#include "mlmd/qxmd/atoms.hpp"
+#include "mlmd/qxmd/neighbor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlmd;
+  Cli cli(argc, argv);
+  const auto lat = static_cast<std::size_t>(cli.integer("lattice", 12));
+  const int steps = static_cast<int>(cli.integer("steps", 3));
+
+  // --- measure per-atom NN inference cost -------------------------------
+  auto atoms = qxmd::make_cubic_lattice(lat, lat, lat, 5.0, 2000.0);
+  qxmd::NeighborList nl(atoms, 9.0);
+  nnq::AtomModel model(nnq::RadialBasis::make(16, 2.0, 9.0, 1.2), {64, 64, 32});
+  std::vector<double> forces;
+  Timer t;
+  for (int i = 0; i < steps; ++i) model.energy_forces(atoms, nl, forces, 4096);
+  perf::NnqmdCompute comp;
+  const double t_atom_host = t.seconds() / steps / static_cast<double>(atoms.n());
+  // Scaling *shape* is set by the comm/compute ratio at the paper's node
+  // speed. A PVC tile runs Allegro inference ~10^3 faster than this one
+  // CPU core (the paper's 1.2288e12 atoms / 120,000 ranks finish a step
+  // in 1590 s, i.e. ~3.1e-5 s/atom like this host — but with a 690k-weight
+  // model ~100x larger than ours). Scale the measured per-atom cost to
+  // that node class and keep the calibrated network model.
+  const double node_speedup = cli.real("node_speedup", 1000.0);
+  comp.t_atom = t_atom_host / node_speedup;
+  std::printf("# measured NN inference: %.3e s/atom/step on this core "
+              "(%zu atoms, %zu weights); modeled node = %.0fx -> %.3e\n",
+              t_atom_host, atoms.n(), model.n_weights(), node_speedup,
+              comp.t_atom);
+
+  perf::Network net;
+  const std::vector<long> weak_ranks = {7500, 15000, 30000, 60000, 120000};
+
+  for (long gran : {160000L, 640000L, 10240000L}) {
+    std::printf("\n# Fig 5a: weak scaling, %ld atoms/rank\n", gran);
+    std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms", "sec/step",
+                "efficiency");
+    for (const auto& sp : perf::nnqmd_weak_scaling(comp, net, weak_ranks, gran))
+      std::printf("%-10ld %-16.3e %-14.3f %-12.4f\n", sp.p,
+                  static_cast<double>(sp.p) * static_cast<double>(gran),
+                  sp.seconds, sp.efficiency);
+  }
+
+  const std::vector<long> strong_ranks = {9225, 18450, 36900, 73800};
+  for (long natoms : {221400000L, 984000000L}) {
+    std::printf("\n# Fig 5b: strong scaling, %ld atoms\n", natoms);
+    std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms/rank", "sec/step",
+                "efficiency");
+    for (const auto& sp :
+         perf::nnqmd_strong_scaling(comp, net, strong_ranks, natoms))
+      std::printf("%-10ld %-16ld %-14.4f %-12.4f\n", sp.p, natoms / sp.p,
+                  sp.seconds, sp.efficiency);
+  }
+  std::printf("\n# paper reference: weak 0.957/0.964/0.997; strong 0.773 "
+              "(984M atoms) vs 0.440 (221.4M)\n");
+
+  // Block-inference memory accounting (Sec. V.B.9).
+  model.energy_forces(atoms, nl, forces, /*block_size=*/0);
+  const std::size_t full = model.last_peak_scratch_bytes();
+  model.energy_forces(atoms, nl, forces, /*block_size=*/256);
+  const std::size_t blocked = model.last_peak_scratch_bytes();
+  std::printf("# block inference: peak descriptor scratch %zu B -> %zu B "
+              "(%.0fx reduction); neighbor-list tensor %zu B\n",
+              full, blocked,
+              static_cast<double>(full) / static_cast<double>(blocked),
+              nl.memory_bytes());
+  return 0;
+}

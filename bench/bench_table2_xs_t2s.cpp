@@ -1,0 +1,91 @@
+// Table II reproduction: XS-NNQMD time-to-solution, defined by the paper
+// as seconds / (atom * weight * MD step) to normalize across model sizes.
+//
+// Baseline: a 440-weight small network (matching Linker et al. 2022's
+// model size). This work: a larger Allegro-FM-style network. The paper's
+// claim is that the per-(atom*weight) cost *drops* for the bigger, better-
+// structured model on better hardware; here both run on one core, so the
+// measured ratio reflects the software efficiency term, and the machine
+// model extrapolates to the paper's 1.23 trillion atoms on 10,000 nodes.
+
+#include <cstdio>
+
+#include "mlmd/common/cli.hpp"
+#include "mlmd/common/timer.hpp"
+#include "mlmd/nnq/allegro.hpp"
+#include "mlmd/perf/machine.hpp"
+#include "mlmd/qxmd/atoms.hpp"
+#include "mlmd/qxmd/neighbor.hpp"
+
+namespace {
+
+struct Meas {
+  double sec_per_step = 0.0;
+  double t2s = 0.0; ///< sec / (atom * weight * step)
+  std::size_t weights = 0;
+};
+
+Meas measure_model(const mlmd::nnq::AtomModel& model, const mlmd::qxmd::Atoms& atoms,
+                   const mlmd::qxmd::NeighborList& nl, int steps) {
+  std::vector<double> forces;
+  mlmd::Timer t;
+  for (int i = 0; i < steps; ++i)
+    model.energy_forces(atoms, nl, forces, /*block_size=*/4096);
+  Meas m;
+  m.sec_per_step = t.seconds() / steps;
+  m.weights = model.n_weights();
+  m.t2s = m.sec_per_step /
+          (static_cast<double>(atoms.n()) * static_cast<double>(m.weights));
+  return m;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlmd;
+  Cli cli(argc, argv);
+  const auto lat = static_cast<std::size_t>(cli.integer("lattice", 12));
+  const int steps = static_cast<int>(cli.integer("steps", 3));
+
+  auto atoms = qxmd::make_cubic_lattice(lat, lat, lat, 5.0, 2000.0);
+  qxmd::NeighborList nl(atoms, 9.0);
+
+  // Baseline: descriptor 8 -> [25, 8] -> 1 gives 442 weights, matching the
+  // 440-weight model of Linker et al. (2022).
+  nnq::AtomModel small(nnq::RadialBasis::make(8, 2.0, 9.0, 1.5), {25, 8});
+  // This work: FM-scale network (weights count like the paper's 690k is
+  // infeasible at laptop latency; scaled proportionally).
+  nnq::AtomModel big(nnq::RadialBasis::make(16, 2.0, 9.0, 1.2), {64, 64, 32});
+
+  std::printf("# Table II: XS-NNQMD T2S [sec/(atom*weight*step)], %zu atoms\n",
+              atoms.n());
+  std::printf("%-26s %-10s %-12s %-14s\n", "Model", "weights", "sec/step",
+              "T2S");
+
+  const auto m_small = measure_model(small, atoms, nl, steps);
+  std::printf("%-26s %-10zu %-12.4f %-14.4e\n", "Small net (SOTA 2022)",
+              m_small.weights, m_small.sec_per_step, m_small.t2s);
+  const auto m_big = measure_model(big, atoms, nl, steps);
+  std::printf("%-26s %-10zu %-12.4f %-14.4e\n", "Allegro-FM style (this work)",
+              m_big.weights, m_big.sec_per_step, m_big.t2s);
+  std::printf("# measured T2S improvement: %.1fx (paper: 3,780x incl. Aurora "
+              "vs Theta hardware)\n", m_small.t2s / m_big.t2s);
+
+  // Machine-model extrapolation to the paper's run.
+  perf::NnqmdCompute comp;
+  comp.t_atom = m_big.sec_per_step / static_cast<double>(atoms.n());
+  perf::Network net;
+  const long p = 120000;
+  const double atoms_per_rank = 1.2288e12 / static_cast<double>(p);
+  const double t_step = comp.t_atom * atoms_per_rank +
+                        net.halo(static_cast<std::size_t>(
+                            6.0 * std::pow(atoms_per_rank, 2.0 / 3.0) * 64.0)) +
+                        net.allreduce(p, 8);
+  std::printf("# model-extrapolated paper config (1.2288e12 atoms, %ld ranks): "
+              "%.1f sec/step -> T2S %.3e s/(atom*weight)\n",
+              p, t_step,
+              t_step / (1.2288e12 * static_cast<double>(m_big.weights)));
+  std::printf("# paper reference: 7.09e-12 (Theta, 2022) -> 1.88e-15 (Aurora, "
+              "this work)\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Radial distribution function g(r) — the standard structural-correlation
+// observable (one of the downstream tasks the Allegro-FM paper validates
+// against).
+
+#include <vector>
+
+#include "mlmd/qxmd/atoms.hpp"
+
+namespace mlmd::analysis {
+
+struct Rdf {
+  std::vector<double> r; ///< bin centres [Bohr]
+  std::vector<double> g; ///< normalized pair density
+};
+
+/// g(r) over all pairs up to rmax (must be <= half the smallest box edge),
+/// normalized so an ideal gas gives g = 1.
+Rdf radial_distribution(const qxmd::Atoms& atoms, double rmax, std::size_t nbins);
+
+/// Partial g(r) between species `type_a` and `type_b`.
+Rdf radial_distribution(const qxmd::Atoms& atoms, double rmax, std::size_t nbins,
+                        int type_a, int type_b);
+
+/// Location of the first maximum of g(r) above `r_min` (first-shell
+/// distance).
+double first_peak(const Rdf& rdf, double r_min = 0.5);
+
+} // namespace mlmd::analysis

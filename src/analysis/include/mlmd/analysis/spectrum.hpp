@@ -1,0 +1,40 @@
+#pragma once
+// Spectroscopy post-processing: velocity autocorrelation -> vibrational
+// density of states (the observable behind the paper's neutron-scattering
+// validation of Allegro-Legato, Sec. V.A.6 / ref [47]), and dipole ->
+// optical absorption spectra (the standard real-time-TDDFT observable the
+// attosecond-response workloads produce).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace mlmd::analysis {
+
+/// Normalized velocity autocorrelation C(t) = <v(0).v(t)> / <v(0).v(0)>
+/// from a trajectory of velocity snapshots (each 3N flat). Averages over
+/// atoms and time origins.
+std::vector<double> velocity_autocorrelation(
+    const std::vector<std::vector<double>>& velocity_frames, std::size_t max_lag);
+
+/// One-sided power spectrum of a real signal sampled at spacing dt: Hann
+/// window, zero-padding to the next power of two. Returns (omega_k, P_k)
+/// for k = 0 .. nfft/2.
+struct Spectrum {
+  std::vector<double> omega; ///< angular frequency [1 / time unit]
+  std::vector<double> power;
+};
+Spectrum power_spectrum(const std::vector<double>& signal, double dt);
+
+/// Vibrational density of states: power spectrum of the VACF.
+Spectrum vibrational_dos(const std::vector<std::vector<double>>& velocity_frames,
+                         double dt_frame, std::size_t max_lag);
+
+/// Dipole strength function S(omega) ~ omega * Im[ integral d(t) e^{i w t} ]
+/// for a delta-kick response; `dipole` is the induced dipole time series.
+Spectrum absorption_spectrum(const std::vector<double>& dipole, double dt);
+
+/// Angular frequency of the strongest non-DC peak.
+double dominant_frequency(const Spectrum& s);
+
+} // namespace mlmd::analysis

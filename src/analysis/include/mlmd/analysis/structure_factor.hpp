@@ -1,0 +1,29 @@
+#pragma once
+// Static structure factor S(k) — the reciprocal-space structural
+// observable (what diffraction/scattering measures; the supertexture
+// satellites of the paper's Fig. 3 experiment live here).
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "mlmd/qxmd/atoms.hpp"
+
+namespace mlmd::analysis {
+
+/// S(k) = |sum_j exp(i k . r_j)|^2 / N at one wave vector.
+double structure_factor(const qxmd::Atoms& atoms, const std::array<double, 3>& k);
+
+/// S along a reciprocal axis: k = 2 pi m / L_axis for m = 0..mmax.
+/// Returns pairs (|k|, S).
+struct SkLine {
+  std::vector<double> k;
+  std::vector<double> s;
+};
+SkLine structure_factor_line(const qxmd::Atoms& atoms, int axis, int mmax);
+
+/// Index m of the strongest non-trivial Bragg peak along an axis
+/// (skipping m = 0).
+int bragg_peak_index(const SkLine& line);
+
+} // namespace mlmd::analysis

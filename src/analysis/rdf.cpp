@@ -1,0 +1,79 @@
+#include "mlmd/analysis/rdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mlmd::analysis {
+namespace {
+
+Rdf compute(const qxmd::Atoms& atoms, double rmax, std::size_t nbins, int type_a,
+            int type_b) {
+  if (nbins == 0) throw std::invalid_argument("radial_distribution: nbins");
+  const double min_edge =
+      std::min({atoms.box.lx, atoms.box.ly, atoms.box.lz});
+  if (rmax <= 0 || rmax > 0.5 * min_edge + 1e-12)
+    throw std::invalid_argument(
+        "radial_distribution: rmax must be in (0, box/2]");
+
+  std::vector<double> counts(nbins, 0.0);
+  const double dr = rmax / static_cast<double>(nbins);
+  std::size_t na = 0, nb = 0;
+  for (std::size_t i = 0; i < atoms.n(); ++i) {
+    if (type_a < 0 || atoms.type[i] == type_a) ++na;
+    if (type_b < 0 || atoms.type[i] == type_b) ++nb;
+  }
+  if (na == 0 || nb == 0)
+    throw std::invalid_argument("radial_distribution: empty species selection");
+
+  for (std::size_t i = 0; i < atoms.n(); ++i) {
+    if (type_a >= 0 && atoms.type[i] != type_a) continue;
+    for (std::size_t j = 0; j < atoms.n(); ++j) {
+      if (i == j) continue;
+      if (type_b >= 0 && atoms.type[j] != type_b) continue;
+      const auto d = atoms.box.mic(atoms.pos(i), atoms.pos(j));
+      const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+      if (r < rmax) counts[static_cast<std::size_t>(r / dr)] += 1.0;
+    }
+  }
+
+  Rdf rdf;
+  rdf.r.resize(nbins);
+  rdf.g.resize(nbins);
+  const double rho_b = static_cast<double>(nb) / atoms.box.volume();
+  for (std::size_t k = 0; k < nbins; ++k) {
+    const double r0 = static_cast<double>(k) * dr, r1 = r0 + dr;
+    const double shell = 4.0 / 3.0 * std::numbers::pi * (r1 * r1 * r1 - r0 * r0 * r0);
+    rdf.r[k] = r0 + 0.5 * dr;
+    rdf.g[k] = counts[k] / (static_cast<double>(na) * rho_b * shell);
+  }
+  return rdf;
+}
+
+} // namespace
+
+Rdf radial_distribution(const qxmd::Atoms& atoms, double rmax, std::size_t nbins) {
+  return compute(atoms, rmax, nbins, -1, -1);
+}
+
+Rdf radial_distribution(const qxmd::Atoms& atoms, double rmax, std::size_t nbins,
+                        int type_a, int type_b) {
+  return compute(atoms, rmax, nbins, type_a, type_b);
+}
+
+double first_peak(const Rdf& rdf, double r_min) {
+  double best_r = 0.0, best_g = -1.0;
+  for (std::size_t k = 0; k + 1 < rdf.r.size(); ++k) {
+    if (rdf.r[k] < r_min) continue;
+    if (rdf.g[k] > best_g) {
+      best_g = rdf.g[k];
+      best_r = rdf.r[k];
+    } else if (best_g > 1.0 && rdf.g[k] < 0.7 * best_g) {
+      break; // passed the first shell
+    }
+  }
+  return best_r;
+}
+
+} // namespace mlmd::analysis

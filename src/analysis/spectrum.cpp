@@ -1,0 +1,114 @@
+#include "mlmd/analysis/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mlmd/fft/fft.hpp"
+
+namespace mlmd::analysis {
+
+std::vector<double> velocity_autocorrelation(
+    const std::vector<std::vector<double>>& frames, std::size_t max_lag) {
+  if (frames.size() < 2)
+    throw std::invalid_argument("velocity_autocorrelation: need >= 2 frames");
+  const std::size_t nf = frames.size();
+  max_lag = std::min(max_lag, nf - 1);
+  const std::size_t ncomp = frames[0].size();
+
+  std::vector<double> c(max_lag + 1, 0.0);
+  std::vector<std::size_t> counts(max_lag + 1, 0);
+  for (std::size_t t0 = 0; t0 < nf; ++t0) {
+    for (std::size_t lag = 0; lag <= max_lag && t0 + lag < nf; ++lag) {
+      double dot = 0.0;
+      const auto& a = frames[t0];
+      const auto& b = frames[t0 + lag];
+      for (std::size_t i = 0; i < ncomp; ++i) dot += a[i] * b[i];
+      c[lag] += dot;
+      counts[lag] += 1;
+    }
+  }
+  for (std::size_t lag = 0; lag <= max_lag; ++lag)
+    c[lag] /= static_cast<double>(counts[lag]);
+  const double c0 = c[0] > 0 ? c[0] : 1.0;
+  for (double& v : c) v /= c0;
+  return c;
+}
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+} // namespace
+
+Spectrum power_spectrum(const std::vector<double>& signal, double dt) {
+  if (signal.size() < 2)
+    throw std::invalid_argument("power_spectrum: signal too short");
+  const std::size_t n = signal.size();
+  const std::size_t nfft = next_pow2(2 * n); // zero-pad for resolution
+  std::vector<std::complex<double>> buf(nfft, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double hann =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                              static_cast<double>(n - 1)));
+    buf[i] = signal[i] * hann;
+  }
+  fft::fft1d(buf.data(), nfft, false);
+
+  Spectrum s;
+  const double domega = 2.0 * std::numbers::pi / (static_cast<double>(nfft) * dt);
+  s.omega.resize(nfft / 2 + 1);
+  s.power.resize(nfft / 2 + 1);
+  for (std::size_t k = 0; k <= nfft / 2; ++k) {
+    s.omega[k] = domega * static_cast<double>(k);
+    s.power[k] = std::norm(buf[k]);
+  }
+  return s;
+}
+
+Spectrum vibrational_dos(const std::vector<std::vector<double>>& frames,
+                         double dt_frame, std::size_t max_lag) {
+  return power_spectrum(velocity_autocorrelation(frames, max_lag), dt_frame);
+}
+
+Spectrum absorption_spectrum(const std::vector<double>& dipole, double dt) {
+  if (dipole.size() < 2)
+    throw std::invalid_argument("absorption_spectrum: series too short");
+  const std::size_t n = dipole.size();
+  const std::size_t nfft = next_pow2(2 * n);
+  std::vector<std::complex<double>> buf(nfft, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Remove the static dipole; exponential damping regularizes the
+    // finite window (standard delta-kick post-processing).
+    const double damp = std::exp(-3.0 * static_cast<double>(i) / static_cast<double>(n));
+    buf[i] = (dipole[i] - dipole[0]) * damp;
+  }
+  fft::fft1d(buf.data(), nfft, false);
+
+  Spectrum s;
+  const double domega = 2.0 * std::numbers::pi / (static_cast<double>(nfft) * dt);
+  s.omega.resize(nfft / 2 + 1);
+  s.power.resize(nfft / 2 + 1);
+  for (std::size_t k = 0; k <= nfft / 2; ++k) {
+    s.omega[k] = domega * static_cast<double>(k);
+    s.power[k] = s.omega[k] * std::abs(buf[k].imag());
+  }
+  return s;
+}
+
+double dominant_frequency(const Spectrum& s) {
+  double best = 0.0, best_p = -1.0;
+  for (std::size_t k = 1; k < s.omega.size(); ++k) {
+    if (s.power[k] > best_p) {
+      best_p = s.power[k];
+      best = s.omega[k];
+    }
+  }
+  return best;
+}
+
+} // namespace mlmd::analysis

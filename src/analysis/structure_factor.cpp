@@ -1,0 +1,50 @@
+#include "mlmd/analysis/structure_factor.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::analysis {
+
+double structure_factor(const qxmd::Atoms& atoms, const std::array<double, 3>& k) {
+  if (atoms.n() == 0) throw std::invalid_argument("structure_factor: no atoms");
+  std::complex<double> amp{};
+  flops::add(12ull * atoms.n());
+  for (std::size_t j = 0; j < atoms.n(); ++j) {
+    const double* r = atoms.pos(j);
+    const double phase = k[0] * r[0] + k[1] * r[1] + k[2] * r[2];
+    amp += std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return std::norm(amp) / static_cast<double>(atoms.n());
+}
+
+SkLine structure_factor_line(const qxmd::Atoms& atoms, int axis, int mmax) {
+  const double l = axis == 0 ? atoms.box.lx : axis == 1 ? atoms.box.ly
+                                                        : atoms.box.lz;
+  if (l <= 0) throw std::invalid_argument("structure_factor_line: box axis");
+  SkLine line;
+  for (int m = 0; m <= mmax; ++m) {
+    std::array<double, 3> k{0, 0, 0};
+    k[static_cast<std::size_t>(axis)] =
+        2.0 * std::numbers::pi * static_cast<double>(m) / l;
+    line.k.push_back(k[static_cast<std::size_t>(axis)]);
+    line.s.push_back(structure_factor(atoms, k));
+  }
+  return line;
+}
+
+int bragg_peak_index(const SkLine& line) {
+  int best = 1;
+  double best_s = -1.0;
+  for (std::size_t m = 1; m < line.s.size(); ++m) {
+    if (line.s[m] > best_s) {
+      best_s = line.s[m];
+      best = static_cast<int>(m);
+    }
+  }
+  return best;
+}
+
+} // namespace mlmd::analysis

@@ -1,0 +1,62 @@
+#include "mlmd/common/device.hpp"
+
+#include <stdexcept>
+
+namespace mlmd {
+
+DeviceLedger& DeviceLedger::instance() {
+  static DeviceLedger ledger;
+  return ledger;
+}
+
+void DeviceLedger::enter_data(const void* p, std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  mapped_[p] = bytes;
+  stats_.resident_bytes += bytes;
+  stats_.peak_resident = std::max(stats_.peak_resident, stats_.resident_bytes);
+  stats_.maps += 1;
+}
+
+void DeviceLedger::exit_data(const void* p) {
+  std::lock_guard lk(mu_);
+  auto it = mapped_.find(p);
+  if (it == mapped_.end()) return;
+  stats_.resident_bytes -= it->second;
+  mapped_.erase(it);
+}
+
+void DeviceLedger::update_to_device(const void* p, std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  if (mapped_.find(p) == mapped_.end())
+    throw std::logic_error("DeviceLedger: update_to_device on unmapped pointer");
+  stats_.h2d_bytes += bytes;
+  stats_.h2d_transfers += 1;
+}
+
+void DeviceLedger::update_to_host(const void* p, std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  if (mapped_.find(p) == mapped_.end())
+    throw std::logic_error("DeviceLedger: update_to_host on unmapped pointer");
+  stats_.d2h_bytes += bytes;
+  stats_.d2h_transfers += 1;
+}
+
+bool DeviceLedger::is_mapped(const void* p) const {
+  std::lock_guard lk(mu_);
+  return mapped_.find(p) != mapped_.end();
+}
+
+DeviceLedger::Stats DeviceLedger::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void DeviceLedger::reset_counters() {
+  std::lock_guard lk(mu_);
+  stats_.h2d_bytes = stats_.d2h_bytes = 0;
+  stats_.h2d_transfers = stats_.d2h_transfers = 0;
+  stats_.maps = 0;
+  stats_.peak_resident = stats_.resident_bytes;
+}
+
+} // namespace mlmd

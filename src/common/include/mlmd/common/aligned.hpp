@@ -1,0 +1,44 @@
+#pragma once
+// Cache-line/SIMD-aligned allocation for hot arrays (wavefunctions,
+// GEMM tiles). Mirrors the paper's OMPallocator idea (Sec. V.B.6): a
+// std-compatible allocator that owns placement policy so container-side
+// code stays clean. Without a device, "placement" here means alignment.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace mlmd {
+
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// std::allocator drop-in with 64-byte alignment.
+template <class T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+
+private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+} // namespace mlmd

@@ -1,0 +1,76 @@
+#pragma once
+// Software brain-floating-point 16 (BF16), used by the parameterized
+// mixed-precision GEMM (paper Secs. V.B.7 and VI.C).
+//
+// BF16 keeps the FP32 exponent (8 bits) and truncates the mantissa to
+// 7 bits. Conversion uses round-to-nearest-even, matching hardware
+// systolic-array behaviour. The float_to_BF16x{2,3} compute modes split a
+// single FP32 value into a sum of 2 or 3 BF16 components so that products
+// can be evaluated as several BF16 GEMMs with FP32 accumulation; helpers
+// for that split live here too.
+
+#include <cstdint>
+#include <cstring>
+
+namespace mlmd {
+
+/// One brain-float-16 value. Storage-only type: arithmetic happens by
+/// widening to float (FP32 accumulation), as on BF16 systolic hardware.
+class bf16 {
+public:
+  constexpr bf16() = default;
+  explicit bf16(float v) : bits_(round_from_float(v)) {}
+
+  /// Widen to FP32 (exact: BF16 values are a subset of FP32).
+  float to_float() const {
+    uint32_t u = static_cast<uint32_t>(bits_) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof f);
+    return f;
+  }
+  explicit operator float() const { return to_float(); }
+
+  uint16_t bits() const { return bits_; }
+  static bf16 from_bits(uint16_t b) {
+    bf16 r;
+    r.bits_ = b;
+    return r;
+  }
+
+  friend bool operator==(bf16 a, bf16 b) { return a.bits_ == b.bits_; }
+
+private:
+  static uint16_t round_from_float(float v) {
+    uint32_t u;
+    std::memcpy(&u, &v, sizeof u);
+    // NaN must stay NaN: force a quiet-NaN payload bit that survives
+    // the truncation to the top 16 bits.
+    if ((u & 0x7f800000u) == 0x7f800000u && (u & 0x007fffffu) != 0)
+      return static_cast<uint16_t>((u >> 16) | 0x0040u);
+    // Round to nearest even on bit 16.
+    uint32_t rounding_bias = 0x7fffu + ((u >> 16) & 1u);
+    return static_cast<uint16_t>((u + rounding_bias) >> 16);
+  }
+
+  uint16_t bits_ = 0;
+};
+
+/// Decompose an FP32 value into `n` BF16 components whose FP32 sum
+/// approximates it (n = 1, 2, or 3: the float_to_BF16{,x2,x3} modes).
+/// Component i is the BF16 rounding of the residual after the first i-1.
+inline void bf16_split(float v, bf16* out, int n) {
+  float residual = v;
+  for (int i = 0; i < n; ++i) {
+    out[i] = bf16(residual);
+    residual -= out[i].to_float();
+  }
+}
+
+/// Recombine split components (exact FP32 sum).
+inline float bf16_join(const bf16* parts, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; ++i) s += parts[i].to_float();
+  return s;
+}
+
+} // namespace mlmd

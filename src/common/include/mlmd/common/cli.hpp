@@ -1,0 +1,55 @@
+#pragma once
+// Tiny --key=value command-line parser shared by examples and benches.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace mlmd {
+
+/// Parses `--key=value` and bare `--flag` arguments; everything else is
+/// ignored. Typed getters fall back to a default when the key is absent.
+class Cli {
+public:
+  Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      // insert_or_assign with named temporaries sidesteps GCC 12's
+      // -Wrestrict false positive on map[string] = substr(...) (PR105651).
+      if (eq == std::string::npos) {
+        kv_.insert_or_assign(body, std::string("1"));
+      } else {
+        std::string key = body.substr(0, eq);
+        std::string value = body.substr(eq + 1);
+        kv_.insert_or_assign(std::move(key), std::move(value));
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+  std::string str(const std::string& key, const std::string& dflt = "") const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  long integer(const std::string& key, long dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double real(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool flag(const std::string& key, bool dflt = false) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    return it->second != "0" && it->second != "false";
+  }
+
+private:
+  std::map<std::string, std::string> kv_;
+};
+
+} // namespace mlmd

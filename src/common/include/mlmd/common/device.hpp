@@ -1,0 +1,91 @@
+#pragma once
+// GPU-residency emulation (paper Sec. V.B.6). The real MLMD keeps the
+// wavefunction arrays device-resident via a custom OMPallocator whose
+// constructor issues `omp target enter data map(alloc)` and whose
+// destructor issues `exit data map(delete)`. This container has no GPU,
+// but the thing the design *minimizes* — host<->device transfer volume —
+// is pure accounting, so we emulate exactly that: a DeviceLedger tracks
+// which allocations are device-resident and meters every explicit
+// update_to_device / update_to_host, and OMPAllocator is the
+// std::vector-compatible allocator that registers its blocks with the
+// ledger for their lifetime. Tests and the shadow-dynamics benches assert
+// the paper's claim that resident bytes dwarf transferred bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace mlmd {
+
+/// Transfer/residency accounting for one logical device.
+class DeviceLedger {
+public:
+  struct Stats {
+    std::size_t resident_bytes = 0;   ///< currently mapped
+    std::size_t peak_resident = 0;
+    std::uint64_t h2d_bytes = 0;      ///< explicit host->device updates
+    std::uint64_t d2h_bytes = 0;
+    std::uint64_t h2d_transfers = 0;
+    std::uint64_t d2h_transfers = 0;
+    std::uint64_t maps = 0;           ///< enter-data events
+  };
+
+  /// Process-wide ledger (the "common device data environment").
+  static DeviceLedger& instance();
+
+  /// `omp target enter data map(alloc: p[0:bytes])`.
+  void enter_data(const void* p, std::size_t bytes);
+  /// `omp target exit data map(delete: p)`. Unknown pointers are ignored
+  /// (mirrors OpenMP's reference-count tolerance).
+  void exit_data(const void* p);
+
+  /// `omp target update to(...)` — meters bytes; throws if not mapped.
+  void update_to_device(const void* p, std::size_t bytes);
+  /// `omp target update from(...)`.
+  void update_to_host(const void* p, std::size_t bytes);
+
+  bool is_mapped(const void* p) const;
+  Stats stats() const;
+  void reset_counters(); ///< zero transfer counters (keeps mappings)
+
+private:
+  mutable std::mutex mu_;
+  std::map<const void*, std::size_t> mapped_;
+  Stats stats_;
+};
+
+/// std::allocator replacement that keeps its blocks device-mapped for
+/// their lifetime (the paper's OMPallocator). Aligned to 64 B like the
+/// pinned-host path.
+template <class T>
+struct OMPAllocator {
+  using value_type = T;
+
+  OMPAllocator() = default;
+  template <class U>
+  OMPAllocator(const OMPAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t bytes = (n * sizeof(T) + 63) / 64 * 64;
+    void* p = std::aligned_alloc(64, bytes);
+    if (!p) throw std::bad_alloc();
+    DeviceLedger::instance().enter_data(p, n * sizeof(T));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    DeviceLedger::instance().exit_data(p);
+    std::free(p);
+  }
+
+  template <class U>
+  struct rebind {
+    using other = OMPAllocator<U>;
+  };
+  friend bool operator==(const OMPAllocator&, const OMPAllocator&) { return true; }
+};
+
+} // namespace mlmd

@@ -1,0 +1,23 @@
+#pragma once
+// Minimal leveled logging. Benchmarks print machine-readable tables to
+// stdout; logging goes to stderr so the two never interleave in captures.
+
+#include <cstdio>
+#include <string>
+
+namespace mlmd::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+Level threshold();
+void set_threshold(Level lv);
+
+void write(Level lv, const std::string& msg);
+
+inline void debug(const std::string& m) { write(Level::kDebug, m); }
+inline void info(const std::string& m) { write(Level::kInfo, m); }
+inline void warn(const std::string& m) { write(Level::kWarn, m); }
+inline void error(const std::string& m) { write(Level::kError, m); }
+
+} // namespace mlmd::log

@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic, fast pseudo-random numbers (xoshiro256++) used by
+// surface hopping, thermostats, NN weight init, and workload generators.
+// Reproducibility across runs matters more here than cryptographic
+// quality, so every consumer takes an explicit seeded Rng.
+
+#include <cstdint>
+#include <cmath>
+
+namespace mlmd {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into 4 non-zero state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Standard normal via Box-Muller (no cached spare: keeps state simple).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) { return (*this)() % n; }
+
+  /// Derive an independent stream (for per-rank / per-atom seeding).
+  Rng split(std::uint64_t stream) const {
+    return Rng(state_[0] ^ (0xa0761d6478bd642full * (stream + 1)));
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+} // namespace mlmd

@@ -1,0 +1,71 @@
+#pragma once
+// Wall-clock timers used for all time-to-solution measurements.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mlmd {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Named accumulating timers, for per-kernel breakdowns
+/// (kin_prop / nlp_prop / hartree / ...). Not thread-safe by design:
+/// each logical rank owns its own TimerSet.
+class TimerSet {
+public:
+  /// Accumulate `seconds` under `name`.
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+  double seconds(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+  std::uint64_t calls(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+  void clear() { entries_.clear(); }
+
+  struct Entry {
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII region that adds its lifetime to a TimerSet entry.
+class ScopedTimer {
+public:
+  ScopedTimer(TimerSet& set, std::string name) : set_(set), name_(std::move(name)) {}
+  ~ScopedTimer() { set_.add(name_, t_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  TimerSet& set_;
+  std::string name_;
+  Timer t_;
+};
+
+} // namespace mlmd

@@ -1,0 +1,38 @@
+#pragma once
+// Physical constants and unit conversions.
+//
+// MLMD works internally in Hartree atomic units:
+//   hbar = m_e = e = 1,  c = 1/alpha = 137.035999,
+//   length  -> Bohr radius a0,
+//   energy  -> Hartree Ha,
+//   time    -> hbar/Ha  (1 a.u. of time = 24.1888 attoseconds).
+//
+// The paper quotes Delta_QD ~ 1 attosecond and Delta_MD ~ 1000 attoseconds;
+// helpers below convert those to a.u.
+
+namespace mlmd::units {
+
+inline constexpr double hbar = 1.0;           ///< reduced Planck constant [a.u.]
+inline constexpr double m_e = 1.0;            ///< electron mass [a.u.]
+inline constexpr double e_charge = 1.0;       ///< elementary charge [a.u.]
+inline constexpr double c_light = 137.035999; ///< speed of light [a.u.]
+
+inline constexpr double bohr_per_angstrom = 1.8897259886;
+inline constexpr double hartree_per_ev = 1.0 / 27.211386245988;
+inline constexpr double ev_per_hartree = 27.211386245988;
+inline constexpr double attosecond_per_au = 24.188843265857;
+inline constexpr double femtosecond_per_au = attosecond_per_au * 1e-3;
+
+/// Convert a duration in attoseconds to atomic units of time.
+constexpr double attoseconds(double as) { return as / attosecond_per_au; }
+/// Convert a duration in femtoseconds to atomic units of time.
+constexpr double femtoseconds(double fs) { return fs * 1e3 / attosecond_per_au; }
+/// Convert a length in Angstrom to Bohr.
+constexpr double angstrom(double a) { return a * bohr_per_angstrom; }
+/// Convert an energy in eV to Hartree.
+constexpr double ev(double e) { return e * hartree_per_ev; }
+
+/// Peak vector potential A0 = E0/omega for a laser of peak field E0 [a.u.].
+constexpr double vector_potential_peak(double e0, double omega) { return e0 / omega; }
+
+} // namespace mlmd::units

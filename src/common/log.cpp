@@ -1,0 +1,28 @@
+#include "mlmd/common/log.hpp"
+
+#include <atomic>
+
+namespace mlmd::log {
+namespace {
+std::atomic<Level> g_threshold{Level::kInfo};
+
+const char* prefix(Level lv) {
+  switch (lv) {
+    case Level::kDebug: return "[debug]";
+    case Level::kInfo: return "[info ]";
+    case Level::kWarn: return "[warn ]";
+    case Level::kError: return "[error]";
+  }
+  return "[?]";
+}
+} // namespace
+
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+void set_threshold(Level lv) { g_threshold.store(lv, std::memory_order_relaxed); }
+
+void write(Level lv, const std::string& msg) {
+  if (lv < threshold()) return;
+  std::fprintf(stderr, "%s %s\n", prefix(lv), msg.c_str());
+}
+
+} // namespace mlmd::log

@@ -1,0 +1,18 @@
+#pragma once
+// Checkpoint/restart I/O for polarization-lattice state (field,
+// velocities, excitation fractions).
+
+#include <string>
+
+#include "mlmd/ferro/lattice.hpp"
+
+namespace mlmd::ferro {
+
+/// Write the lattice state to `path` (binary, overwrites). Parameters are
+/// saved too, so a restart reproduces the dynamics exactly.
+void save_lattice(const FerroLattice& lat, const std::string& path);
+
+/// Restore a lattice written by save_lattice.
+FerroLattice load_lattice(const std::string& path);
+
+} // namespace mlmd::ferro

@@ -1,0 +1,64 @@
+#include "mlmd/ferro/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace mlmd::ferro {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'M', 'D', 'F', 'E', '0', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint64_t lx, ly;
+  FerroParams params;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void save_lattice(const FerroLattice& lat, const std::string& path) {
+  File fp(std::fopen(path.c_str(), "wb"));
+  if (!fp) throw std::runtime_error("save_lattice: cannot open " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.lx = lat.lx();
+  h.ly = lat.ly();
+  h.params = lat.params();
+  const std::size_t n = lat.ncells();
+  if (std::fwrite(&h, sizeof h, 1, fp.get()) != 1 ||
+      std::fwrite(lat.field().data(), sizeof(Vec3), n, fp.get()) != n ||
+      std::fwrite(lat.velocity().data(), sizeof(Vec3), n, fp.get()) != n ||
+      std::fwrite(lat.excitation().data(), sizeof(double), n, fp.get()) != n)
+    throw std::runtime_error("save_lattice: short write to " + path);
+}
+
+FerroLattice load_lattice(const std::string& path) {
+  File fp(std::fopen(path.c_str(), "rb"));
+  if (!fp) throw std::runtime_error("load_lattice: cannot open " + path);
+  Header h{};
+  if (std::fread(&h, sizeof h, 1, fp.get()) != 1)
+    throw std::runtime_error("load_lattice: truncated header in " + path);
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("load_lattice: bad magic in " + path);
+
+  FerroLattice lat(h.lx, h.ly, h.params);
+  const std::size_t n = lat.ncells();
+  std::vector<double> w(n);
+  if (std::fread(lat.field().data(), sizeof(Vec3), n, fp.get()) != n ||
+      std::fread(lat.velocity().data(), sizeof(Vec3), n, fp.get()) != n ||
+      std::fread(w.data(), sizeof(double), n, fp.get()) != n)
+    throw std::runtime_error("load_lattice: truncated payload in " + path);
+  lat.set_excitation(w);
+  return lat;
+}
+
+} // namespace mlmd::ferro

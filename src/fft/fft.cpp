@@ -1,0 +1,119 @@
+#include "mlmd/fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::fft {
+namespace {
+
+using cd = std::complex<double>;
+
+void bit_reverse_permute(cd* a, std::size_t n) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void fft_core(cd* a, std::size_t n, bool inverse) {
+  bit_reverse_permute(a, n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cd wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cd u = a[i + j];
+        const cd v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv;
+  }
+}
+
+} // namespace
+
+void fft1d(cd* data, std::size_t n, bool inverse) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft1d: length must be a power of two");
+  flops::add(10ull * n * static_cast<std::size_t>(std::log2(static_cast<double>(n))));
+  fft_core(data, n, inverse);
+}
+
+void fft1d_strided(cd* data, std::size_t n, std::size_t stride, bool inverse) {
+  if (stride == 1) {
+    fft1d(data, n, inverse);
+    return;
+  }
+  std::vector<cd> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = data[i * stride];
+  fft1d(tmp.data(), n, inverse);
+  for (std::size_t i = 0; i < n; ++i) data[i * stride] = tmp[i];
+}
+
+void fft3d(cd* data, std::size_t nx, std::size_t ny, std::size_t nz, bool inverse) {
+  if (!is_pow2(nx) || !is_pow2(ny) || !is_pow2(nz))
+    throw std::invalid_argument("fft3d: dims must be powers of two");
+  // z lines (contiguous)
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t y = 0; y < ny; ++y)
+      fft1d(data + (x * ny + y) * nz, nz, inverse);
+  // y lines (stride nz)
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft1d_strided(data + x * ny * nz + z, ny, nz, inverse);
+  // x lines (stride ny*nz)
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft1d_strided(data + y * nz + z, nx, ny * nz, inverse);
+}
+
+void poisson_periodic(const std::vector<double>& rho, std::vector<double>& phi,
+                      std::size_t nx, std::size_t ny, std::size_t nz, double lx,
+                      double ly, double lz) {
+  const std::size_t n = nx * ny * nz;
+  if (rho.size() != n) throw std::invalid_argument("poisson_periodic: size mismatch");
+  std::vector<cd> work(n);
+  for (std::size_t i = 0; i < n; ++i) work[i] = rho[i];
+  fft3d(work.data(), nx, ny, nz, false);
+
+  const double two_pi = 2.0 * std::numbers::pi;
+  auto kval = [two_pi](std::size_t i, std::size_t nd, double ld) {
+    // Map FFT index to signed frequency.
+    const double m = i <= nd / 2 ? static_cast<double>(i)
+                                 : static_cast<double>(i) - static_cast<double>(nd);
+    return two_pi * m / ld;
+  };
+
+  for (std::size_t x = 0; x < nx; ++x) {
+    const double kx = kval(x, nx, lx);
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double ky = kval(y, ny, ly);
+      for (std::size_t z = 0; z < nz; ++z) {
+        const double kz = kval(z, nz, lz);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        cd& v = work[(x * ny + y) * nz + z];
+        if (k2 == 0.0)
+          v = 0.0; // neutralizing background: drop mean component
+        else
+          v *= 4.0 * std::numbers::pi / k2;
+      }
+    }
+  }
+
+  fft3d(work.data(), nx, ny, nz, true);
+  phi.resize(n);
+  for (std::size_t i = 0; i < n; ++i) phi[i] = work[i].real();
+}
+
+} // namespace mlmd::fft

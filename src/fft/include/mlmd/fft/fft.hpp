@@ -1,0 +1,38 @@
+#pragma once
+// From-scratch complex FFT (iterative radix-2 Cooley-Tukey) and the 3D
+// transform built on it. Used as the "locally dense" member of the paper's
+// GSLF/GSLD solver pair (Sec. V.A.2): within one DC domain, the Hartree
+// potential can be solved spectrally; across domains, the sparse multigrid
+// (mlmd::mg) takes over.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace mlmd::fft {
+
+/// True if n is a power of two (and > 0).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// In-place 1D FFT of length-n power-of-two data.
+/// `inverse` applies the conjugate transform *and* the 1/n scaling, so
+/// ifft(fft(x)) == x.
+void fft1d(std::complex<double>* data, std::size_t n, bool inverse);
+
+/// In-place 1D FFT over a strided sequence (stride in elements).
+void fft1d_strided(std::complex<double>* data, std::size_t n, std::size_t stride,
+                   bool inverse);
+
+/// 3D FFT over an nx x ny x nz row-major array (z fastest). All dims must
+/// be powers of two.
+void fft3d(std::complex<double>* data, std::size_t nx, std::size_t ny, std::size_t nz,
+           bool inverse);
+
+/// Solve the periodic Poisson equation  -lap(phi) = 4*pi*rho  spectrally
+/// on a box of physical size (lx, ly, lz). The k=0 (mean) component of rho
+/// is projected out (jellium neutralization), and phi has zero mean.
+void poisson_periodic(const std::vector<double>& rho, std::vector<double>& phi,
+                      std::size_t nx, std::size_t ny, std::size_t nz, double lx,
+                      double ly, double lz);
+
+} // namespace mlmd::fft

@@ -1,0 +1,82 @@
+#include "mlmd/grid/decomposition.hpp"
+
+namespace mlmd::grid {
+
+DcDecomposition::DcDecomposition(const Grid3& global, int dx, int dy, int dz,
+                                 std::size_t buffer)
+    : global_(global) {
+  if (dx <= 0 || dy <= 0 || dz <= 0)
+    throw std::invalid_argument("DcDecomposition: domain counts must be positive");
+  if (global.nx % static_cast<std::size_t>(dx) != 0 ||
+      global.ny % static_cast<std::size_t>(dy) != 0 ||
+      global.nz % static_cast<std::size_t>(dz) != 0)
+    throw std::invalid_argument("DcDecomposition: grid must divide evenly");
+
+  const std::size_t cx = global.nx / static_cast<std::size_t>(dx);
+  const std::size_t cy = global.ny / static_cast<std::size_t>(dy);
+  const std::size_t cz = global.nz / static_cast<std::size_t>(dz);
+  // Buffers beyond the core size would make a domain wrap onto itself.
+  if (buffer > cx || buffer > cy || buffer > cz)
+    throw std::invalid_argument("DcDecomposition: buffer exceeds core extent");
+
+  domains_.reserve(static_cast<std::size_t>(dx) * dy * dz);
+  for (int ix = 0; ix < dx; ++ix)
+    for (int iy = 0; iy < dy; ++iy)
+      for (int iz = 0; iz < dz; ++iz) {
+        Domain d;
+        d.core0[0] = static_cast<std::size_t>(ix) * cx;
+        d.core0[1] = static_cast<std::size_t>(iy) * cy;
+        d.core0[2] = static_cast<std::size_t>(iz) * cz;
+        d.coreN[0] = cx;
+        d.coreN[1] = cy;
+        d.coreN[2] = cz;
+        d.buffer = buffer;
+        d.local = Grid3{cx + 2 * buffer, cy + 2 * buffer, cz + 2 * buffer,
+                        global.hx, global.hy, global.hz};
+        domains_.push_back(d);
+      }
+}
+
+std::vector<double> DcDecomposition::gather(int a,
+                                            const std::vector<double>& gf) const {
+  const Domain& d = domain(a);
+  if (gf.size() != global_.size())
+    throw std::invalid_argument("DcDecomposition::gather: global field size mismatch");
+  std::vector<double> lf(d.local.size());
+  for (std::size_t x = 0; x < d.local.nx; ++x) {
+    const std::size_t gx = d.to_global(0, x, global_);
+    for (std::size_t y = 0; y < d.local.ny; ++y) {
+      const std::size_t gy = d.to_global(1, y, global_);
+      for (std::size_t z = 0; z < d.local.nz; ++z) {
+        const std::size_t gz = d.to_global(2, z, global_);
+        lf[d.local.index(x, y, z)] = gf[global_.index(gx, gy, gz)];
+      }
+    }
+  }
+  return lf;
+}
+
+void DcDecomposition::scatter_core(int a, const std::vector<double>& lf,
+                                   std::vector<double>& gf) const {
+  const Domain& d = domain(a);
+  if (lf.size() != d.local.size() || gf.size() != global_.size())
+    throw std::invalid_argument("DcDecomposition::scatter_core: size mismatch");
+  for (std::size_t x = d.buffer; x < d.buffer + d.coreN[0]; ++x) {
+    const std::size_t gx = d.to_global(0, x, global_);
+    for (std::size_t y = d.buffer; y < d.buffer + d.coreN[1]; ++y) {
+      const std::size_t gy = d.to_global(1, y, global_);
+      for (std::size_t z = d.buffer; z < d.buffer + d.coreN[2]; ++z) {
+        const std::size_t gz = d.to_global(2, z, global_);
+        gf[global_.index(gx, gy, gz)] += lf[d.local.index(x, y, z)];
+      }
+    }
+  }
+}
+
+double DcDecomposition::overlap_factor() const {
+  double local_total = 0.0;
+  for (const auto& d : domains_) local_total += static_cast<double>(d.local.size());
+  return local_total / static_cast<double>(global_.size());
+}
+
+} // namespace mlmd::grid

@@ -1,0 +1,31 @@
+#pragma once
+// Uniform 3D real-space grid descriptor. Fields are stored row-major with
+// z fastest, matching the FFT/multigrid/LFD layouts.
+
+#include <cstddef>
+
+namespace mlmd::grid {
+
+struct Grid3 {
+  std::size_t nx = 0, ny = 0, nz = 0; ///< points per axis
+  double hx = 1.0, hy = 1.0, hz = 1.0; ///< spacings [Bohr]
+
+  std::size_t size() const { return nx * ny * nz; }
+  double lx() const { return static_cast<double>(nx) * hx; }
+  double ly() const { return static_cast<double>(ny) * hy; }
+  double lz() const { return static_cast<double>(nz) * hz; }
+  double volume() const { return lx() * ly() * lz(); }
+  double dv() const { return hx * hy * hz; } ///< volume element
+
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return (x * ny + y) * nz + z;
+  }
+
+  /// Periodic wrap of a signed coordinate onto [0, n).
+  static std::size_t wrap(std::ptrdiff_t i, std::size_t n) {
+    const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(n);
+    return static_cast<std::size_t>((i % m + m) % m);
+  }
+};
+
+} // namespace mlmd::grid

@@ -1,0 +1,113 @@
+#include "mlmd/la/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::la {
+namespace {
+
+using cd = std::complex<double>;
+
+/// Off-diagonal Frobenius norm squared.
+double offdiag_norm2(const Matrix<cd>& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += 2.0 * std::norm(a(i, j));
+  return s;
+}
+
+} // namespace
+
+EigResult eigh(const Matrix<cd>& h, double tol, int max_sweeps) {
+  if (h.rows() != h.cols()) throw std::invalid_argument("eigh: matrix not square");
+  const std::size_t n = h.rows();
+
+  // Work on an explicitly Hermitian copy.
+  Matrix<cd> a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = {h(i, i).real(), 0.0};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      a(i, j) = h(i, j);
+      a(j, i) = std::conj(h(i, j));
+    }
+  }
+
+  Matrix<cd> v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const double diag2 = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += std::norm(a(i, i));
+    return s + 1e-300;
+  }();
+
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm2(a) <= tol * tol * diag2) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cd apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Complex Jacobi rotation: phase out a_pq, then real rotation.
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double abs_apq = std::abs(apq);
+        const cd phase = apq / abs_apq;
+        const double tau = (aqq - app) / (2.0 * abs_apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = t * cs;
+        const cd s_ph = sn * phase;
+
+        // A <- J^H A J with J affecting columns/rows p, q:
+        // col_p' = c*col_p - conj(s_ph)*col_q ; col_q' = s_ph*col_p + c*col_q
+        for (std::size_t i = 0; i < n; ++i) {
+          const cd aip = a(i, p), aiq = a(i, q);
+          a(i, p) = cs * aip - std::conj(s_ph) * aiq;
+          a(i, q) = s_ph * aip + cs * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const cd apj = a(p, j), aqj = a(q, j);
+          a(p, j) = cs * apj - s_ph * aqj;
+          a(q, j) = std::conj(s_ph) * apj + cs * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const cd vip = v(i, p), viq = v(i, q);
+          v(i, p) = cs * vip - std::conj(s_ph) * viq;
+          v(i, q) = s_ph * vip + cs * viq;
+        }
+        flops::add(48 * n);
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i).real() < a(j, j).real();
+  });
+
+  EigResult out;
+  out.values.resize(n);
+  out.vectors.resize(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]).real();
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  out.sweeps = sweep;
+  return out;
+}
+
+EigResult eigh(const Matrix<double>& h, double tol, int max_sweeps) {
+  Matrix<cd> hc(h.rows(), h.cols());
+  for (std::size_t i = 0; i < h.size(); ++i) hc.data()[i] = h.data()[i];
+  return eigh(hc, tol, max_sweeps);
+}
+
+} // namespace mlmd::la

@@ -1,0 +1,241 @@
+#include "mlmd/la/gemm.hpp"
+
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "mlmd/common/bf16.hpp"
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::la {
+namespace {
+
+template <class T>
+T conj_if(T v, bool do_conj) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    (void)do_conj;
+    return v;
+  } else {
+    return do_conj ? std::conj(v) : v;
+  }
+}
+
+/// Fetch op(A)(i, j) without materializing the transpose.
+template <class T>
+T op_at(const Matrix<T>& a, Trans t, std::size_t i, std::size_t j) {
+  switch (t) {
+    case Trans::kN: return a(i, j);
+    case Trans::kT: return a(j, i);
+    case Trans::kC: return conj_if(a(j, i), true);
+  }
+  return T{};
+}
+
+template <class T>
+std::size_t op_rows(const Matrix<T>& a, Trans t) {
+  return t == Trans::kN ? a.rows() : a.cols();
+}
+template <class T>
+std::size_t op_cols(const Matrix<T>& a, Trans t) {
+  return t == Trans::kN ? a.cols() : a.rows();
+}
+
+constexpr std::size_t kBlockI = 64; // rows of C per macro-tile
+constexpr std::size_t kBlockK = 128; // reduction depth per pass
+
+} // namespace
+
+template <class T>
+void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
+          T beta, Matrix<T>& c) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  const std::size_t n = op_cols(b, tb);
+  if (op_rows(b, tb) != k || c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm: shape mismatch");
+
+  constexpr bool is_complex = !std::is_arithmetic_v<T>;
+  flops::add((is_complex ? 8ull : 2ull) * m * n * k);
+
+  // Pack op(A) and op(B) into contiguous row-major buffers once; the
+  // blocked kernel then streams rows of B against each row of A, which is
+  // the cache-friendly order for row-major storage (paper Sec. V.B.2-3:
+  // data re-ordering + blocking).
+  std::vector<T> pa;
+  const T* ap;
+  std::size_t lda;
+  if (ta == Trans::kN) {
+    ap = a.data();
+    lda = a.cols();
+  } else {
+    pa.resize(m * k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) pa[i * k + p] = op_at(a, ta, i, p);
+    ap = pa.data();
+    lda = k;
+  }
+  std::vector<T> pb;
+  const T* bp;
+  std::size_t ldb;
+  if (tb == Trans::kN) {
+    bp = b.data();
+    ldb = b.cols();
+  } else {
+    pb.resize(k * n);
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) pb[p * n + j] = op_at(b, tb, p, j);
+    bp = pb.data();
+    ldb = n;
+  }
+
+  // beta-scale C once up front.
+  if (beta == T{}) {
+    c.fill(T{});
+  } else if (beta != T{1}) {
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t i1 = std::min(i0 + kBlockI, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        T* crow = c.row(i);
+        for (std::size_t p = p0; p < p1; ++p) {
+          const T aip = alpha * ap[i * lda + p];
+          const T* brow = bp + p * ldb;
+          if constexpr (std::is_arithmetic_v<T>) {
+#pragma omp simd
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+          } else {
+            // Manual complex expansion: std::complex operator* routes
+            // through __mul?c3 (NaN-correct but scalar); the axpy form
+            // below vectorizes.
+            using R = typename T::value_type;
+            const R ar = aip.real(), ai = aip.imag();
+            const R* __restrict__ br = reinterpret_cast<const R*>(brow);
+            R* __restrict__ cr = reinterpret_cast<R*>(crow);
+#pragma omp simd
+            for (std::size_t j = 0; j < n; ++j) {
+              const R xr = br[2 * j], xi = br[2 * j + 1];
+              cr[2 * j] += ar * xr - ai * xi;
+              cr[2 * j + 1] += ar * xi + ai * xr;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template void gemm<float>(Trans, Trans, float, const Matrix<float>&,
+                          const Matrix<float>&, float, Matrix<float>&);
+template void gemm<double>(Trans, Trans, double, const Matrix<double>&,
+                           const Matrix<double>&, double, Matrix<double>&);
+template void gemm<std::complex<float>>(Trans, Trans, std::complex<float>,
+                                        const Matrix<std::complex<float>>&,
+                                        const Matrix<std::complex<float>>&,
+                                        std::complex<float>,
+                                        Matrix<std::complex<float>>&);
+template void gemm<std::complex<double>>(Trans, Trans, std::complex<double>,
+                                         const Matrix<std::complex<double>>&,
+                                         const Matrix<std::complex<double>>&,
+                                         std::complex<double>,
+                                         Matrix<std::complex<double>>&);
+
+void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
+                const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b, std::complex<float> beta,
+                Matrix<std::complex<float>>& c) {
+  if (mode == ComputeMode::kNative) {
+    gemm(ta, tb, alpha, a, b, beta, c);
+    return;
+  }
+  const int nc = mode == ComputeMode::kBF16 ? 1 : (mode == ComputeMode::kBF16x2 ? 2 : 3);
+
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  const std::size_t n = op_cols(b, tb);
+  if (op_rows(b, tb) != k || c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm_mixed: shape mismatch");
+  flops::add(8ull * m * n * k * static_cast<std::size_t>(nc) * nc);
+
+  // Materialize op(A) and op(B) with every scalar replaced by the FP32
+  // value of the sum of its BF16 components. Component products are
+  // accumulated in FP32, exactly what BF16 systolic hardware does.
+  // Components are kept in separate planes so each (component-of-A x
+  // component-of-B) pass is itself a uniform-precision product.
+  auto split_planes = [nc](std::size_t rows, std::size_t cols, auto fetch) {
+    std::vector<std::vector<std::complex<float>>> planes(
+        nc, std::vector<std::complex<float>>(rows * cols));
+    bf16 parts_re[3], parts_im[3];
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) {
+        const std::complex<float> v = fetch(i, j);
+        bf16_split(v.real(), parts_re, nc);
+        bf16_split(v.imag(), parts_im, nc);
+        for (int q = 0; q < nc; ++q)
+          planes[q][i * cols + j] = {parts_re[q].to_float(), parts_im[q].to_float()};
+      }
+    return planes;
+  };
+
+  auto a_planes = split_planes(m, k, [&](std::size_t i, std::size_t j) {
+    return op_at(a, ta, i, j);
+  });
+  auto b_planes = split_planes(k, n, [&](std::size_t i, std::size_t j) {
+    return op_at(b, tb, i, j);
+  });
+
+  if (beta == std::complex<float>{}) {
+    c.fill({});
+  } else if (beta != std::complex<float>{1.0f, 0.0f}) {
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict__ cr = reinterpret_cast<float*>(c.row(i));
+    for (int qa = 0; qa < nc; ++qa) {
+      const auto& ap = a_planes[qa];
+      for (int qb = 0; qb < nc; ++qb) {
+        const auto& bp = b_planes[qb];
+        for (std::size_t p = 0; p < k; ++p) {
+          const std::complex<float> aip = alpha * ap[i * k + p];
+          const float ar = aip.real(), ai = aip.imag();
+          const float* __restrict__ br =
+              reinterpret_cast<const float*>(bp.data() + p * n);
+#pragma omp simd
+          for (std::size_t j = 0; j < n; ++j) {
+            const float xr = br[2 * j], xi = br[2 * j + 1];
+            cr[2 * j] += ar * xr - ai * xi;
+            cr[2 * j + 1] += ar * xi + ai * xr;
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void gemv(Trans ta, T alpha, const Matrix<T>& a, const T* x, T beta, T* y) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  constexpr bool is_complex = !std::is_arithmetic_v<T>;
+  flops::add((is_complex ? 8ull : 2ull) * m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    T acc{};
+    for (std::size_t p = 0; p < k; ++p) acc += op_at(a, ta, i, p) * x[p];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+template void gemv<double>(Trans, double, const Matrix<double>&, const double*, double,
+                           double*);
+template void gemv<std::complex<double>>(Trans, std::complex<double>,
+                                         const Matrix<std::complex<double>>&,
+                                         const std::complex<double>*,
+                                         std::complex<double>, std::complex<double>*);
+
+} // namespace mlmd::la

@@ -1,0 +1,31 @@
+#pragma once
+// Hermitian eigensolver (cyclic complex Jacobi).
+//
+// Surface hopping (paper Sec. A.4, operator U_SH) needs the instantaneous
+// adiabatic states of the small per-domain orbital-space Hamiltonian
+// (N_orb x N_orb). Jacobi is simple, unconditionally stable, and more than
+// fast enough at these sizes.
+
+#include <complex>
+#include <vector>
+
+#include "mlmd/la/matrix.hpp"
+
+namespace mlmd::la {
+
+struct EigResult {
+  std::vector<double> values;          ///< ascending eigenvalues
+  Matrix<std::complex<double>> vectors; ///< eigenvectors in columns
+  int sweeps = 0;                      ///< Jacobi sweeps used
+};
+
+/// Diagonalize a Hermitian matrix. Only the Hermitian part of `h` is used
+/// (the strictly-lower triangle is taken as conj of upper). Throws if the
+/// matrix is not square.
+EigResult eigh(const Matrix<std::complex<double>>& h, double tol = 1e-12,
+               int max_sweeps = 64);
+
+/// Real symmetric convenience wrapper.
+EigResult eigh(const Matrix<double>& h, double tol = 1e-12, int max_sweeps = 64);
+
+} // namespace mlmd::la

@@ -1,0 +1,80 @@
+#pragma once
+// Parameterized-precision GEMM (paper Secs. V.B.5, V.B.7, VI.C).
+//
+// MLMD's nonlocal correction, energy, and current computations are
+// "GEMMified": expressed as dense matrix-matrix products. On Aurora these
+// run through oneMKL with compute modes float_to_BF16{,x2,x3}. Here we
+// implement our own cache-blocked GEMM with the same parameterized
+// precision surface:
+//   - native FP64 / FP32 (real and complex),
+//   - software-emulated BF16 with FP32 accumulation, where each FP32
+//     input scalar is split into 1, 2, or 3 BF16 components
+//     (ComputeMode::kBF16{,x2,x3}) and products of components are
+//     accumulated in FP32, mirroring systolic-array semantics.
+//
+// All entry points record analytic FLOP counts via mlmd::flops.
+
+#include <complex>
+#include <cstddef>
+
+#include "mlmd/la/matrix.hpp"
+
+namespace mlmd::la {
+
+/// Operation applied to an input operand, as in BLAS.
+enum class Trans {
+  kN, ///< use A as stored
+  kT, ///< transpose
+  kC, ///< conjugate transpose
+};
+
+/// Precision ladder for FP32 inputs (paper Sec. VI.C).
+enum class ComputeMode {
+  kNative, ///< multiply in the storage precision
+  kBF16,   ///< 1 BF16 component per scalar, FP32 accumulate
+  kBF16x2, ///< 2 components: BF16x2 mode
+  kBF16x3, ///< 3 components: accuracy comparable to FP32
+};
+
+/// C <- alpha * op(A) * op(B) + beta * C, storage-precision arithmetic.
+/// Shapes must satisfy op(A): m x k, op(B): k x n, C: m x n.
+template <class T>
+void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
+          T beta, Matrix<T>& c);
+
+extern template void gemm<float>(Trans, Trans, float, const Matrix<float>&,
+                                 const Matrix<float>&, float, Matrix<float>&);
+extern template void gemm<double>(Trans, Trans, double, const Matrix<double>&,
+                                  const Matrix<double>&, double, Matrix<double>&);
+extern template void gemm<std::complex<float>>(Trans, Trans, std::complex<float>,
+                                               const Matrix<std::complex<float>>&,
+                                               const Matrix<std::complex<float>>&,
+                                               std::complex<float>,
+                                               Matrix<std::complex<float>>&);
+extern template void gemm<std::complex<double>>(Trans, Trans, std::complex<double>,
+                                                const Matrix<std::complex<double>>&,
+                                                const Matrix<std::complex<double>>&,
+                                                std::complex<double>,
+                                                Matrix<std::complex<double>>&);
+
+/// Mixed-precision CGEMM on complex<float> data. kNative falls through to
+/// gemm(); BF16 modes split the real/imaginary planes of both operands
+/// into BF16 components and accumulate all component products in FP32.
+void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
+                const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b, std::complex<float> beta,
+                Matrix<std::complex<float>>& c);
+
+/// y <- alpha * op(A) * x + beta * y (matrix-vector; used by SCF).
+template <class T>
+void gemv(Trans ta, T alpha, const Matrix<T>& a, const T* x, T beta, T* y);
+
+extern template void gemv<double>(Trans, double, const Matrix<double>&, const double*,
+                                  double, double*);
+extern template void gemv<std::complex<double>>(Trans, std::complex<double>,
+                                                const Matrix<std::complex<double>>&,
+                                                const std::complex<double>*,
+                                                std::complex<double>,
+                                                std::complex<double>*);
+
+} // namespace mlmd::la

@@ -1,0 +1,85 @@
+#pragma once
+// Dense row-major matrix container used throughout MLMD.
+//
+// Row-major is chosen deliberately: the paper's SoA wavefunction layout
+// (Sec. V.B.2) stores, for each grid point, the values of all N_orb
+// orbitals consecutively. That is exactly a row-major N_grid x N_orb
+// matrix, so the GEMMified nonlocal correction (Sec. V.B.5) operates on
+// wavefunction storage with zero repacking.
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "mlmd/common/aligned.hpp"
+
+namespace mlmd::la {
+
+template <class T>
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+using MatrixCF = Matrix<std::complex<float>>;
+using MatrixCD = Matrix<std::complex<double>>;
+
+/// Max |a_ij - b_ij| between equal-shaped matrices.
+template <class T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = std::abs(a.data()[i] - b.data()[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// Frobenius norm.
+template <class T>
+double fro_norm(const Matrix<T>& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::norm(std::complex<double>(a.data()[i]));
+  return std::sqrt(s);
+}
+
+} // namespace mlmd::la

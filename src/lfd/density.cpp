@@ -1,0 +1,115 @@
+#include "mlmd/lfd/density.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+#include "mlmd/common/units.hpp"
+
+namespace mlmd::lfd {
+
+template <class Real>
+std::vector<double> density(const SoAWave<Real>& w, const std::vector<double>& f) {
+  if (f.size() != w.norb) throw std::invalid_argument("density: occupation size");
+  std::vector<double> rho(w.grid.size(), 0.0);
+  flops::add(3ull * w.grid.size() * w.norb);
+#pragma omp parallel for schedule(static)
+  for (std::size_t g = 0; g < rho.size(); ++g) {
+    double acc = 0.0;
+    const auto* row = w.psi.row(g);
+    for (std::size_t s = 0; s < w.norb; ++s) {
+      const double re = row[s].real(), im = row[s].imag();
+      acc += f[s] * (re * re + im * im);
+    }
+    rho[g] = acc;
+  }
+  return rho;
+}
+
+template <class Real>
+std::array<double, 3> macroscopic_current(const SoAWave<Real>& w,
+                                          const std::vector<double>& f,
+                                          const double a[3]) {
+  if (f.size() != w.norb)
+    throw std::invalid_argument("macroscopic_current: occupation size");
+  const grid::Grid3& g = w.grid;
+  std::array<double, 3> j{0.0, 0.0, 0.0};
+  flops::add(20ull * g.size() * w.norb);
+
+  // Paramagnetic part via central-difference bonds (matches propagator
+  // stencil): Im(psi^*(r) [psi(r+h) - psi(r-h)] / 2h), Peierls-consistent.
+  const std::size_t extents[3] = {g.nx, g.ny, g.nz};
+  const double hs[3] = {g.hx, g.hy, g.hz};
+
+  for (int axis = 0; axis < 3; ++axis) {
+    double acc = 0.0;
+    const double theta = a[axis] * hs[axis] / units::c_light;
+    const std::complex<double> ph(std::cos(theta), -std::sin(theta));
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+    for (std::size_t x = 0; x < g.nx; ++x) {
+      for (std::size_t y = 0; y < g.ny; ++y)
+        for (std::size_t z = 0; z < g.nz; ++z) {
+          const std::size_t c[3] = {x, y, z};
+          const std::size_t gp = g.index(x, y, z);
+          std::size_t cc[3] = {x, y, z};
+          cc[axis] = c[axis] + 1 == extents[axis] ? 0 : c[axis] + 1;
+          const std::size_t gq = g.index(cc[0], cc[1], cc[2]);
+          for (std::size_t s = 0; s < w.norb; ++s) {
+            const std::complex<double> u(w.at(gp, s));
+            const std::complex<double> v(w.at(gq, s));
+            acc += f[s] * std::imag(std::conj(u) * ph * v) / hs[axis];
+          }
+        }
+    }
+    j[static_cast<std::size_t>(axis)] = acc * g.dv() / g.volume();
+  }
+  return j;
+}
+
+template <class Real>
+std::array<double, 3> dipole_moment(const SoAWave<Real>& w,
+                                    const std::vector<double>& f) {
+  const grid::Grid3& g = w.grid;
+  std::array<double, 3> d{0.0, 0.0, 0.0};
+  const double cx = 0.5 * g.lx(), cy = 0.5 * g.ly(), cz = 0.5 * g.lz();
+  auto mic = [](double x, double l) { return x - l * std::round(x / l); };
+  for (std::size_t x = 0; x < g.nx; ++x)
+    for (std::size_t y = 0; y < g.ny; ++y)
+      for (std::size_t z = 0; z < g.nz; ++z) {
+        double dens = 0.0;
+        const auto* row = w.psi.row(g.index(x, y, z));
+        for (std::size_t s = 0; s < w.norb; ++s)
+          dens += f[s] * std::norm(std::complex<double>(row[s]));
+        d[0] += dens * mic(x * g.hx - cx, g.lx());
+        d[1] += dens * mic(y * g.hy - cy, g.ly());
+        d[2] += dens * mic(z * g.hz - cz, g.lz());
+      }
+  const double dv = g.dv();
+  for (double& c : d) c *= dv;
+  return d;
+}
+
+double excitation_number(const std::vector<double>& f0, const std::vector<double>& f) {
+  if (f0.size() != f.size())
+    throw std::invalid_argument("excitation_number: size mismatch");
+  double n = 0.0;
+  for (std::size_t s = 0; s < f.size(); ++s) n += std::max(f0[s] - f[s], 0.0);
+  return n;
+}
+
+template std::vector<double> density<float>(const SoAWave<float>&,
+                                            const std::vector<double>&);
+template std::vector<double> density<double>(const SoAWave<double>&,
+                                             const std::vector<double>&);
+template std::array<double, 3> macroscopic_current<float>(const SoAWave<float>&,
+                                                          const std::vector<double>&,
+                                                          const double[3]);
+template std::array<double, 3> macroscopic_current<double>(const SoAWave<double>&,
+                                                           const std::vector<double>&,
+                                                           const double[3]);
+template std::array<double, 3> dipole_moment<float>(const SoAWave<float>&,
+                                                    const std::vector<double>&);
+template std::array<double, 3> dipole_moment<double>(const SoAWave<double>&,
+                                                     const std::vector<double>&);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,81 @@
+#include "mlmd/lfd/fermi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlmd::lfd {
+namespace {
+
+double occupation(double e, double mu, double kT, double f_max) {
+  if (kT <= 0.0) {
+    if (e < mu) return f_max;
+    if (e > mu) return 0.0;
+    return 0.5 * f_max;
+  }
+  const double x = (e - mu) / kT;
+  if (x > 40.0) return 0.0;
+  if (x < -40.0) return f_max;
+  return f_max / (std::exp(x) + 1.0);
+}
+
+} // namespace
+
+FermiResult fermi_occupations(const std::vector<double>& energies, double nelec,
+                              double kT, double f_max) {
+  if (energies.empty())
+    throw std::invalid_argument("fermi_occupations: no levels");
+  if (nelec < 0 ||
+      nelec > f_max * static_cast<double>(energies.size()) + 1e-12)
+    throw std::invalid_argument("fermi_occupations: nelec out of range");
+
+  auto count = [&](double mu) {
+    double s = 0.0;
+    for (double e : energies) s += occupation(e, mu, kT, f_max);
+    return s;
+  };
+
+  double lo = *std::min_element(energies.begin(), energies.end()) -
+              10.0 * std::max(kT, 1.0);
+  double hi = *std::max_element(energies.begin(), energies.end()) +
+              10.0 * std::max(kT, 1.0);
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (count(mid) < nelec)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  FermiResult res;
+  res.mu = 0.5 * (lo + hi);
+  res.f.reserve(energies.size());
+  for (double e : energies) res.f.push_back(occupation(e, res.mu, kT, f_max));
+
+  // Exact count at kT = 0 needs explicit frontier filling (bisection
+  // cannot resolve a flat step through degenerate levels).
+  if (kT <= 0.0) {
+    double total = 0.0;
+    for (double f : res.f) total += f;
+    double deficit = nelec - total;
+    for (std::size_t s = 0; s < res.f.size() && std::abs(deficit) > 1e-12; ++s) {
+      if (std::abs(energies[s] - res.mu) < 1e-9) {
+        const double add = std::clamp(deficit, -res.f[s], f_max - res.f[s]);
+        res.f[s] += add;
+        deficit -= add;
+      }
+    }
+  }
+  return res;
+}
+
+double fermi_entropy_term(const std::vector<double>& f, double kT, double f_max) {
+  if (kT <= 0.0) return 0.0;
+  double s = 0.0;
+  for (double fi : f) {
+    const double x = std::clamp(fi / f_max, 1e-300, 1.0 - 1e-15);
+    s += x * std::log(x) + (1.0 - x) * std::log(1.0 - x);
+  }
+  return kT * f_max * s; // -T S with S = -k sum [...] per channel
+}
+
+} // namespace mlmd::lfd

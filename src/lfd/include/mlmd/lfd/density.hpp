@@ -1,0 +1,50 @@
+#pragma once
+// Electronic observables on the LFD grid: density, macroscopic current
+// (TDCDFT, used as the Maxwell source — paper Sec. V.B.5), dipole moment,
+// and the number of photoexcited electrons n_exc derived from occupation
+// changes (the shadow-dynamics quantity, Secs. V.A.3 and V.A.8).
+
+#include <array>
+#include <vector>
+
+#include "mlmd/lfd/wavefunction.hpp"
+
+namespace mlmd::lfd {
+
+/// rho(r) = sum_s f_s |psi_s(r)|^2.
+template <class Real>
+std::vector<double> density(const SoAWave<Real>& w, const std::vector<double>& f);
+
+/// Macroscopic (cell-averaged) current density
+///   J = (1/V) sum_s f_s [ Im(psi* grad psi) + rho A / c ] dr
+/// computed with the same bond stencil as the propagator so the
+/// continuity equation holds discretely.
+template <class Real>
+std::array<double, 3> macroscopic_current(const SoAWave<Real>& w,
+                                          const std::vector<double>& f,
+                                          const double a[3]);
+
+/// Electric dipole moment integral r * rho(r) dr (minimum image around the
+/// box center).
+template <class Real>
+std::array<double, 3> dipole_moment(const SoAWave<Real>& w,
+                                    const std::vector<double>& f);
+
+/// n_exc = sum_s max(f0_s - f_s, 0): electrons promoted out of initially
+/// occupied orbitals. This is the scalar DC-MESH returns to XS-NNQMD.
+double excitation_number(const std::vector<double>& f0, const std::vector<double>& f);
+
+extern template std::vector<double> density<float>(const SoAWave<float>&,
+                                                   const std::vector<double>&);
+extern template std::vector<double> density<double>(const SoAWave<double>&,
+                                                    const std::vector<double>&);
+extern template std::array<double, 3> macroscopic_current<float>(
+    const SoAWave<float>&, const std::vector<double>&, const double[3]);
+extern template std::array<double, 3> macroscopic_current<double>(
+    const SoAWave<double>&, const std::vector<double>&, const double[3]);
+extern template std::array<double, 3> dipole_moment<float>(const SoAWave<float>&,
+                                                           const std::vector<double>&);
+extern template std::array<double, 3> dipole_moment<double>(const SoAWave<double>&,
+                                                            const std::vector<double>&);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,27 @@
+#pragma once
+// Fermi-Dirac occupations: fill band energies at electronic temperature
+// kT, solving for the chemical potential so the electron count is exact.
+// Finite smearing both stabilizes SCF for small-gap systems and provides
+// the equilibrium occupations that surface hopping perturbs.
+
+#include <vector>
+
+namespace mlmd::lfd {
+
+struct FermiResult {
+  std::vector<double> f; ///< occupations in [0, f_max]
+  double mu = 0.0;       ///< chemical potential [Ha]
+};
+
+/// Occupations f_s = f_max / (exp((e_s - mu)/kT) + 1) with mu chosen by
+/// bisection so that sum f = nelec. kT = 0 gives the zero-temperature
+/// step (with fractional filling of the frontier level when needed).
+FermiResult fermi_occupations(const std::vector<double>& energies, double nelec,
+                              double kT, double f_max = 2.0);
+
+/// Electronic entropy -kT * sum [f ln f + (1-f) ln(1-f)] (per f_max
+/// channel), the -TS term of the Mermin free energy.
+double fermi_entropy_term(const std::vector<double>& f, double kT,
+                          double f_max = 2.0);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,51 @@
+#pragma once
+// Application of the local Hamiltonian h_loc = T(A) + v_loc to a set of
+// orbitals, and its projection into the KS-orbital space. The orbital-
+// space matrix H_ss' = <psi_s| h |psi_s'> feeds surface hopping (adiabatic
+// states come from diagonalizing it) and total-energy accounting.
+
+#include <vector>
+
+#include "mlmd/la/matrix.hpp"
+#include "mlmd/lfd/wavefunction.hpp"
+
+namespace mlmd::lfd {
+
+/// Hpsi(g,s) = [T(A) + v] psi(g,s), same finite-difference stencil as the
+/// propagator (Peierls-phased hoppings + diagonal).
+template <class Real>
+la::Matrix<std::complex<Real>> apply_hloc(const SoAWave<Real>& w,
+                                          const std::vector<double>& vloc,
+                                          const double a[3]);
+
+extern template la::Matrix<std::complex<float>> apply_hloc<float>(
+    const SoAWave<float>&, const std::vector<double>&, const double[3]);
+extern template la::Matrix<std::complex<double>> apply_hloc<double>(
+    const SoAWave<double>&, const std::vector<double>&, const double[3]);
+
+/// H_ss' = <psi_s| h_loc |psi_s'> * dv (Hermitian N_orb x N_orb),
+/// via apply_hloc + one CGEMM. Always returned in double precision.
+template <class Real>
+la::Matrix<std::complex<double>> orbital_hamiltonian(const SoAWave<Real>& w,
+                                                     const std::vector<double>& vloc,
+                                                     const double a[3]);
+
+extern template la::Matrix<std::complex<double>> orbital_hamiltonian<float>(
+    const SoAWave<float>&, const std::vector<double>&, const double[3]);
+extern template la::Matrix<std::complex<double>> orbital_hamiltonian<double>(
+    const SoAWave<double>&, const std::vector<double>&, const double[3]);
+
+/// Total electronic energy sum_s f_s <psi_s| h_loc |psi_s>.
+template <class Real>
+double total_energy(const SoAWave<Real>& w, const std::vector<double>& f,
+                    const std::vector<double>& vloc, const double a[3]);
+
+extern template double total_energy<float>(const SoAWave<float>&,
+                                           const std::vector<double>&,
+                                           const std::vector<double>&, const double[3]);
+extern template double total_energy<double>(const SoAWave<double>&,
+                                            const std::vector<double>&,
+                                            const std::vector<double>&,
+                                            const double[3]);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,27 @@
+#pragma once
+// Checkpoint/restart I/O for wavefunction state. Binary format with a
+// versioned header (magic, grid extents/spacings, orbital count,
+// precision tag) so restarts fail loudly on mismatched builds rather than
+// silently misreading.
+
+#include <string>
+
+#include "mlmd/lfd/wavefunction.hpp"
+
+namespace mlmd::lfd {
+
+/// Write the SoA wavefunction set to `path` (binary, overwrites).
+template <class Real>
+void save_wave(const SoAWave<Real>& w, const std::string& path);
+
+/// Read a wavefunction set written by save_wave with the same Real type.
+/// Throws on missing file, bad magic, or precision mismatch.
+template <class Real>
+SoAWave<Real> load_wave(const std::string& path);
+
+extern template void save_wave<float>(const SoAWave<float>&, const std::string&);
+extern template void save_wave<double>(const SoAWave<double>&, const std::string&);
+extern template SoAWave<float> load_wave<float>(const std::string&);
+extern template SoAWave<double> load_wave<double>(const std::string&);
+
+} // namespace mlmd::lfd

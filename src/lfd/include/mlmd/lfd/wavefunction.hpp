@@ -1,0 +1,112 @@
+#pragma once
+// Kohn-Sham wavefunction storage for LFD (Local Field Dynamics).
+//
+// Two layouts exist on purpose:
+//  - SoAWave: structure-of-arrays — for each grid point, the values of all
+//    N_orb orbitals are contiguous (paper Sec. V.B.2). This is a row-major
+//    N_grid x N_orb matrix, so the GEMMified nonlocal correction operates
+//    on it directly, and stencil coefficients are reused across orbitals.
+//  - AoSWave: orbital-major layout, kept only as the Table III baseline.
+//
+// Both are templated on the real scalar (float/double): parameterized
+// precision at the subprogram level (paper Sec. V.B.7).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "mlmd/grid/grid3.hpp"
+#include "mlmd/la/matrix.hpp"
+
+namespace mlmd::lfd {
+
+template <class Real>
+struct SoAWave {
+  grid::Grid3 grid;
+  std::size_t norb = 0;
+  la::Matrix<std::complex<Real>> psi; ///< N_grid x N_orb, row-major
+
+  SoAWave() = default;
+  SoAWave(const grid::Grid3& g, std::size_t n)
+      : grid(g), norb(n), psi(g.size(), n) {}
+
+  std::complex<Real>& at(std::size_t gpt, std::size_t orb) { return psi(gpt, orb); }
+  const std::complex<Real>& at(std::size_t gpt, std::size_t orb) const {
+    return psi(gpt, orb);
+  }
+
+  /// Per-orbital L2 norm^2 (integral |psi|^2 dv).
+  std::vector<double> norms2() const {
+    std::vector<double> out(norb, 0.0);
+    for (std::size_t g = 0; g < grid.size(); ++g)
+      for (std::size_t s = 0; s < norb; ++s) out[s] += std::norm(psi(g, s));
+    const double dv = grid.dv();
+    for (auto& v : out) v *= dv;
+    return out;
+  }
+};
+
+template <class Real>
+struct AoSWave {
+  grid::Grid3 grid;
+  std::size_t norb = 0;
+  la::Matrix<std::complex<Real>> psi; ///< N_orb x N_grid, row-major
+
+  AoSWave() = default;
+  AoSWave(const grid::Grid3& g, std::size_t n)
+      : grid(g), norb(n), psi(n, g.size()) {}
+
+  std::complex<Real>& at(std::size_t gpt, std::size_t orb) { return psi(orb, gpt); }
+  const std::complex<Real>& at(std::size_t gpt, std::size_t orb) const {
+    return psi(orb, gpt);
+  }
+};
+
+/// Layout converters (used by tests to check the ladder variants agree).
+template <class Real>
+AoSWave<Real> to_aos(const SoAWave<Real>& w) {
+  AoSWave<Real> out(w.grid, w.norb);
+  for (std::size_t g = 0; g < w.grid.size(); ++g)
+    for (std::size_t s = 0; s < w.norb; ++s) out.at(g, s) = w.at(g, s);
+  return out;
+}
+
+template <class Real>
+SoAWave<Real> to_soa(const AoSWave<Real>& w) {
+  SoAWave<Real> out(w.grid, w.norb);
+  for (std::size_t g = 0; g < w.grid.size(); ++g)
+    for (std::size_t s = 0; s < w.norb; ++s) out.at(g, s) = w.at(g, s);
+  return out;
+}
+
+/// Precision converters (shadow-dynamics proxy runs in FP32; QXMD in FP64).
+template <class To, class From>
+SoAWave<To> convert(const SoAWave<From>& w) {
+  SoAWave<To> out(w.grid, w.norb);
+  for (std::size_t i = 0; i < w.psi.size(); ++i)
+    out.psi.data()[i] = std::complex<To>(static_cast<To>(w.psi.data()[i].real()),
+                                         static_cast<To>(w.psi.data()[i].imag()));
+  return out;
+}
+
+/// Initialize `norb` orthonormal plane-wave-like orbitals with distinct
+/// wave vectors (deterministic; used by tests, benches, and examples).
+template <class Real>
+void init_plane_waves(SoAWave<Real>& w);
+
+/// Gaussian wave packet in orbital `s`: center (fractions of box), width
+/// [Bohr], carrier momentum k [1/Bohr].
+template <class Real>
+void set_gaussian_packet(SoAWave<Real>& w, std::size_t s, double cx, double cy,
+                         double cz, double width, double kx, double ky, double kz);
+
+extern template void init_plane_waves<float>(SoAWave<float>&);
+extern template void init_plane_waves<double>(SoAWave<double>&);
+extern template void set_gaussian_packet<float>(SoAWave<float>&, std::size_t, double,
+                                                double, double, double, double, double,
+                                                double);
+extern template void set_gaussian_packet<double>(SoAWave<double>&, std::size_t, double,
+                                                 double, double, double, double, double,
+                                                 double);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,73 @@
+#include "mlmd/lfd/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace mlmd::lfd {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'M', 'D', 'W', 'F', '0', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint64_t nx, ny, nz, norb;
+  double hx, hy, hz;
+  std::uint32_t real_bytes; ///< 4 = float, 8 = double
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+template <class Real>
+void save_wave(const SoAWave<Real>& w, const std::string& path) {
+  File fp(std::fopen(path.c_str(), "wb"));
+  if (!fp) throw std::runtime_error("save_wave: cannot open " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.nx = w.grid.nx;
+  h.ny = w.grid.ny;
+  h.nz = w.grid.nz;
+  h.norb = w.norb;
+  h.hx = w.grid.hx;
+  h.hy = w.grid.hy;
+  h.hz = w.grid.hz;
+  h.real_bytes = sizeof(Real);
+  if (std::fwrite(&h, sizeof h, 1, fp.get()) != 1 ||
+      std::fwrite(w.psi.data(), sizeof(std::complex<Real>), w.psi.size(),
+                  fp.get()) != w.psi.size())
+    throw std::runtime_error("save_wave: short write to " + path);
+}
+
+template <class Real>
+SoAWave<Real> load_wave(const std::string& path) {
+  File fp(std::fopen(path.c_str(), "rb"));
+  if (!fp) throw std::runtime_error("load_wave: cannot open " + path);
+  Header h{};
+  if (std::fread(&h, sizeof h, 1, fp.get()) != 1)
+    throw std::runtime_error("load_wave: truncated header in " + path);
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("load_wave: bad magic in " + path);
+  if (h.real_bytes != sizeof(Real))
+    throw std::runtime_error("load_wave: precision mismatch in " + path);
+
+  SoAWave<Real> w(grid::Grid3{h.nx, h.ny, h.nz, h.hx, h.hy, h.hz}, h.norb);
+  if (std::fread(w.psi.data(), sizeof(std::complex<Real>), w.psi.size(),
+                 fp.get()) != w.psi.size())
+    throw std::runtime_error("load_wave: truncated payload in " + path);
+  return w;
+}
+
+template void save_wave<float>(const SoAWave<float>&, const std::string&);
+template void save_wave<double>(const SoAWave<double>&, const std::string&);
+template SoAWave<float> load_wave<float>(const std::string&);
+template SoAWave<double> load_wave<double>(const std::string&);
+
+} // namespace mlmd::lfd

@@ -1,0 +1,141 @@
+#include "mlmd/lfd/nlp_prop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlmd::lfd {
+namespace {
+
+template <class Real>
+void gemm_dispatch(la::ComputeMode mode, la::Trans ta, la::Trans tb,
+                   std::complex<Real> alpha, const la::Matrix<std::complex<Real>>& a,
+                   const la::Matrix<std::complex<Real>>& b, std::complex<Real> beta,
+                   la::Matrix<std::complex<Real>>& c) {
+  if constexpr (std::is_same_v<Real, float>) {
+    la::gemm_mixed(mode, ta, tb, alpha, a, b, beta, c);
+  } else {
+    if (mode != la::ComputeMode::kNative)
+      throw std::invalid_argument("BF16 compute modes require FP32 storage");
+    la::gemm(ta, tb, alpha, a, b, beta, c);
+  }
+}
+
+} // namespace
+
+template <class Real>
+void nlp_prop(SoAWave<Real>& w, const la::Matrix<std::complex<Real>>& psi0,
+              std::complex<double> delta, la::ComputeMode mode) {
+  if (psi0.rows() != w.psi.rows() || psi0.cols() != w.psi.cols())
+    throw std::invalid_argument("nlp_prop: psi0 shape mismatch");
+  const auto no = w.norb;
+  const Real dv = static_cast<Real>(w.grid.dv());
+
+  // CGEMM(1): overlap S = Psi0^H Psi(t) * dv.
+  la::Matrix<std::complex<Real>> s(no, no);
+  gemm_dispatch<Real>(mode, la::Trans::kC, la::Trans::kN,
+                      std::complex<Real>(dv, Real(0)), psi0, w.psi,
+                      std::complex<Real>{}, s);
+
+  // CGEMM(2): Psi(t) += delta * Psi0 * S.
+  const std::complex<Real> dl(static_cast<Real>(delta.real()),
+                              static_cast<Real>(delta.imag()));
+  gemm_dispatch<Real>(mode, la::Trans::kN, la::Trans::kN, dl, psi0, s,
+                      std::complex<Real>(Real(1), Real(0)), w.psi);
+
+  renormalize(w);
+}
+
+template <class Real>
+Projectors<Real> gaussian_projectors(const grid::Grid3& g,
+                                     const std::vector<std::array<double, 3>>& centers,
+                                     double sigma, double d0) {
+  Projectors<Real> p;
+  p.beta.resize(g.size(), centers.size());
+  p.d.assign(centers.size(), d0);
+  auto mic = [](double d, double l) { return d - l * std::round(d / l); };
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    const double x0 = centers[c][0] * g.lx();
+    const double y0 = centers[c][1] * g.ly();
+    const double z0 = centers[c][2] * g.lz();
+    double norm2 = 0.0;
+    for (std::size_t x = 0; x < g.nx; ++x)
+      for (std::size_t y = 0; y < g.ny; ++y)
+        for (std::size_t z = 0; z < g.nz; ++z) {
+          const double dx = mic(x * g.hx - x0, g.lx());
+          const double dy = mic(y * g.hy - y0, g.ly());
+          const double dz = mic(z * g.hz - z0, g.lz());
+          const double amp =
+              std::exp(-(dx * dx + dy * dy + dz * dz) / (2.0 * sigma * sigma));
+          p.beta(g.index(x, y, z), c) = static_cast<Real>(amp);
+          norm2 += amp * amp;
+        }
+    norm2 *= g.dv();
+    const Real inv = static_cast<Real>(1.0 / std::sqrt(norm2));
+    for (std::size_t gp = 0; gp < g.size(); ++gp) p.beta(gp, c) *= inv;
+  }
+  return p;
+}
+
+template <class Real>
+void apply_projectors(SoAWave<Real>& w, const Projectors<Real>& proj, double dt,
+                      la::ComputeMode mode) {
+  const std::size_t np = proj.beta.cols();
+  if (np == 0) return;
+  const Real dv = static_cast<Real>(w.grid.dv());
+
+  // P = beta^H Psi * dv  (N_proj x N_orb).
+  la::Matrix<std::complex<Real>> pmat(np, w.norb);
+  gemm_dispatch<Real>(mode, la::Trans::kC, la::Trans::kN,
+                      std::complex<Real>(dv, Real(0)), proj.beta, w.psi,
+                      std::complex<Real>{}, pmat);
+
+  // Scale rows by -i * dt * d_p.
+  for (std::size_t p = 0; p < np; ++p) {
+    const std::complex<Real> coef(Real(0), static_cast<Real>(-dt * proj.d[p]));
+    for (std::size_t s = 0; s < w.norb; ++s) pmat(p, s) *= coef;
+  }
+
+  // Psi += beta * P'.
+  gemm_dispatch<Real>(mode, la::Trans::kN, la::Trans::kN,
+                      std::complex<Real>(Real(1), Real(0)), proj.beta, pmat,
+                      std::complex<Real>(Real(1), Real(0)), w.psi);
+
+  renormalize(w);
+}
+
+template <class Real>
+void renormalize(SoAWave<Real>& w) {
+  std::vector<double> n2(w.norb, 0.0);
+  for (std::size_t g = 0; g < w.grid.size(); ++g) {
+    const auto* row = w.psi.row(g);
+    for (std::size_t s = 0; s < w.norb; ++s)
+      n2[s] += std::norm(std::complex<double>(row[s]));
+  }
+  const double dv = w.grid.dv();
+  std::vector<Real> inv(w.norb);
+  for (std::size_t s = 0; s < w.norb; ++s)
+    inv[s] = static_cast<Real>(1.0 / std::sqrt(std::max(n2[s] * dv, 1e-300)));
+#pragma omp parallel for schedule(static)
+  for (std::size_t g = 0; g < w.grid.size(); ++g) {
+    auto* row = w.psi.row(g);
+    for (std::size_t s = 0; s < w.norb; ++s) row[s] *= inv[s];
+  }
+}
+
+template void nlp_prop<float>(SoAWave<float>&, const la::Matrix<std::complex<float>>&,
+                              std::complex<double>, la::ComputeMode);
+template void nlp_prop<double>(SoAWave<double>&,
+                               const la::Matrix<std::complex<double>>&,
+                               std::complex<double>, la::ComputeMode);
+template Projectors<float> gaussian_projectors<float>(
+    const grid::Grid3&, const std::vector<std::array<double, 3>>&, double, double);
+template Projectors<double> gaussian_projectors<double>(
+    const grid::Grid3&, const std::vector<std::array<double, 3>>&, double, double);
+template void apply_projectors<float>(SoAWave<float>&, const Projectors<float>&,
+                                      double, la::ComputeMode);
+template void apply_projectors<double>(SoAWave<double>&, const Projectors<double>&,
+                                       double, la::ComputeMode);
+template void renormalize<float>(SoAWave<float>&);
+template void renormalize<double>(SoAWave<double>&);
+
+} // namespace mlmd::lfd

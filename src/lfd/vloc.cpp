@@ -1,0 +1,168 @@
+#include "mlmd/lfd/vloc.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::lfd {
+namespace {
+
+/// Minimum-image displacement component.
+inline double mic(double d, double l) { return d - l * std::round(d / l); }
+
+} // namespace
+
+std::vector<double> ionic_potential(const grid::Grid3& g,
+                                    const std::vector<Ion>& ions) {
+  std::vector<double> v(g.size(), 0.0);
+  flops::add(14ull * g.size() * ions.size());
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::size_t x = 0; x < g.nx; ++x) {
+    for (std::size_t y = 0; y < g.ny; ++y) {
+      for (std::size_t z = 0; z < g.nz; ++z) {
+        double acc = 0.0;
+        const double px = x * g.hx, py = y * g.hy, pz = z * g.hz;
+        for (const Ion& ion : ions) {
+          const double dx = mic(px - ion.x, g.lx());
+          const double dy = mic(py - ion.y, g.ly());
+          const double dz = mic(pz - ion.z, g.lz());
+          const double r2 = dx * dx + dy * dy + dz * dz;
+          acc -= ion.v0 * std::exp(-r2 / (2.0 * ion.sigma * ion.sigma));
+        }
+        v[g.index(x, y, z)] = acc;
+      }
+    }
+  }
+  return v;
+}
+
+void add_xc_potential(const std::vector<double>& rho, std::vector<double>& v) {
+  if (rho.size() != v.size())
+    throw std::invalid_argument("add_xc_potential: size mismatch");
+  const double c = std::pow(3.0 / std::numbers::pi, 1.0 / 3.0);
+  flops::add(4ull * rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    v[i] -= c * std::cbrt(std::max(rho[i], 0.0));
+}
+
+namespace {
+// Perdew-Zunger 81 correlation constants (unpolarized).
+constexpr double kPzGamma = -0.1423, kPzBeta1 = 1.0529, kPzBeta2 = 0.3334;
+constexpr double kPzA = 0.0311, kPzB = -0.048, kPzC = 0.0020, kPzD = -0.0116;
+
+double rs_of(double rho) {
+  return std::cbrt(3.0 / (4.0 * std::numbers::pi * rho));
+}
+} // namespace
+
+double lda_pz_exc(double rho) {
+  if (rho <= 1e-20) return 0.0;
+  const double ex = -0.75 * std::cbrt(3.0 * rho / std::numbers::pi);
+  const double rs = rs_of(rho);
+  double ec;
+  if (rs >= 1.0) {
+    ec = kPzGamma / (1.0 + kPzBeta1 * std::sqrt(rs) + kPzBeta2 * rs);
+  } else {
+    ec = kPzA * std::log(rs) + kPzB + kPzC * rs * std::log(rs) + kPzD * rs;
+  }
+  return ex + ec;
+}
+
+double lda_pz_vxc(double rho) {
+  if (rho <= 1e-20) return 0.0;
+  // v_x = (4/3) e_x for Slater exchange.
+  const double vx = -std::cbrt(3.0 * rho / std::numbers::pi);
+  const double rs = rs_of(rho);
+  double vc;
+  if (rs >= 1.0) {
+    const double sq = std::sqrt(rs);
+    const double den = 1.0 + kPzBeta1 * sq + kPzBeta2 * rs;
+    const double ec = kPzGamma / den;
+    vc = ec * (1.0 + 7.0 / 6.0 * kPzBeta1 * sq + 4.0 / 3.0 * kPzBeta2 * rs) / den;
+  } else {
+    vc = kPzA * std::log(rs) + (kPzB - kPzA / 3.0) +
+         2.0 / 3.0 * kPzC * rs * std::log(rs) + (2.0 * kPzD - kPzC) / 3.0 * rs;
+  }
+  return vx + vc;
+}
+
+void add_xc_potential_pz(const std::vector<double>& rho, std::vector<double>& v) {
+  if (rho.size() != v.size())
+    throw std::invalid_argument("add_xc_potential_pz: size mismatch");
+  flops::add(20ull * rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    v[i] += lda_pz_vxc(std::max(rho[i], 0.0));
+}
+
+template <class Real>
+void vloc_prop(SoAWave<Real>& w, const std::vector<double>& v, double dt) {
+  if (v.size() != w.grid.size())
+    throw std::invalid_argument("vloc_prop: potential size mismatch");
+  flops::add((8ull * w.norb + 20ull) * w.grid.size());
+  auto* psi = w.psi.data();
+  const std::size_t norb = w.norb;
+#pragma omp parallel for schedule(static)
+  for (std::size_t g = 0; g < v.size(); ++g) {
+    const double ang = -dt * v[g];
+    const Real pr = static_cast<Real>(std::cos(ang));
+    const Real pi = static_cast<Real>(std::sin(ang));
+    auto* row = psi + g * norb;
+#pragma omp simd
+    for (std::size_t s = 0; s < norb; ++s) {
+      const Real r = row[s].real(), im = row[s].imag();
+      row[s] = {pr * r - pi * im, pr * im + pi * r};
+    }
+  }
+}
+
+template <class Real>
+double potential_energy(const SoAWave<Real>& w, const std::vector<double>& f,
+                        const std::vector<double>& v) {
+  if (v.size() != w.grid.size() || f.size() != w.norb)
+    throw std::invalid_argument("potential_energy: size mismatch");
+  double e = 0.0;
+  for (std::size_t g = 0; g < v.size(); ++g) {
+    double dens = 0.0;
+    for (std::size_t s = 0; s < w.norb; ++s)
+      dens += f[s] * std::norm(std::complex<double>(w.at(g, s)));
+    e += v[g] * dens;
+  }
+  return e * w.grid.dv();
+}
+
+std::array<double, 3> ion_force(const grid::Grid3& g, const std::vector<double>& rho,
+                                const Ion& ion) {
+  // V_ion contribution of this ion at r: -v0 exp(-|r-R|^2/(2 s^2)).
+  // dV/dR = -v0 exp(...) * (r - R)/s^2 ; F = -∫ rho dV/dR dr.
+  std::array<double, 3> fr{0.0, 0.0, 0.0};
+  const double s2 = ion.sigma * ion.sigma;
+  for (std::size_t x = 0; x < g.nx; ++x)
+    for (std::size_t y = 0; y < g.ny; ++y)
+      for (std::size_t z = 0; z < g.nz; ++z) {
+        const double dx = mic(x * g.hx - ion.x, g.lx());
+        const double dy = mic(y * g.hy - ion.y, g.ly());
+        const double dz = mic(z * g.hz - ion.z, g.lz());
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double w = rho[g.index(x, y, z)] * ion.v0 * std::exp(-r2 / (2.0 * s2)) / s2;
+        fr[0] += w * dx;
+        fr[1] += w * dy;
+        fr[2] += w * dz;
+      }
+  const double dv = g.dv();
+  for (double& c : fr) c *= dv;
+  return fr;
+}
+
+template void vloc_prop<float>(SoAWave<float>&, const std::vector<double>&, double);
+template void vloc_prop<double>(SoAWave<double>&, const std::vector<double>&, double);
+template double potential_energy<float>(const SoAWave<float>&,
+                                        const std::vector<double>&,
+                                        const std::vector<double>&);
+template double potential_energy<double>(const SoAWave<double>&,
+                                         const std::vector<double>&,
+                                         const std::vector<double>&);
+
+} // namespace mlmd::lfd

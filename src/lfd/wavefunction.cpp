@@ -1,0 +1,85 @@
+#include "mlmd/lfd/wavefunction.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+namespace mlmd::lfd {
+
+namespace {
+/// Enumerate integer wave vectors shell by shell (deterministic order).
+std::vector<std::array<int, 3>> lowest_kvecs(std::size_t count) {
+  std::vector<std::array<int, 3>> ks;
+  ks.push_back({0, 0, 0});
+  for (int shell = 1; ks.size() < count; ++shell) {
+    for (int kx = -shell; kx <= shell; ++kx)
+      for (int ky = -shell; ky <= shell; ++ky)
+        for (int kz = -shell; kz <= shell; ++kz) {
+          if (std::max({std::abs(kx), std::abs(ky), std::abs(kz)}) != shell) continue;
+          ks.push_back({kx, ky, kz});
+        }
+  }
+  return ks;
+}
+} // namespace
+
+template <class Real>
+void init_plane_waves(SoAWave<Real>& w) {
+  auto ks = lowest_kvecs(w.norb);
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double inv_sqrt_v = 1.0 / std::sqrt(w.grid.volume());
+  for (std::size_t s = 0; s < w.norb; ++s) {
+    const double kx = two_pi * ks[s][0] / w.grid.lx();
+    const double ky = two_pi * ks[s][1] / w.grid.ly();
+    const double kz = two_pi * ks[s][2] / w.grid.lz();
+    for (std::size_t x = 0; x < w.grid.nx; ++x)
+      for (std::size_t y = 0; y < w.grid.ny; ++y)
+        for (std::size_t z = 0; z < w.grid.nz; ++z) {
+          const double phase = kx * (x * w.grid.hx) + ky * (y * w.grid.hy) +
+                               kz * (z * w.grid.hz);
+          w.at(w.grid.index(x, y, z), s) =
+              std::complex<Real>(static_cast<Real>(std::cos(phase) * inv_sqrt_v),
+                                 static_cast<Real>(std::sin(phase) * inv_sqrt_v));
+        }
+  }
+}
+
+template <class Real>
+void set_gaussian_packet(SoAWave<Real>& w, std::size_t s, double cx, double cy,
+                         double cz, double width, double kx, double ky, double kz) {
+  const double x0 = cx * w.grid.lx(), y0 = cy * w.grid.ly(), z0 = cz * w.grid.lz();
+  double norm2 = 0.0;
+  for (std::size_t x = 0; x < w.grid.nx; ++x)
+    for (std::size_t y = 0; y < w.grid.ny; ++y)
+      for (std::size_t z = 0; z < w.grid.nz; ++z) {
+        // Minimum-image displacement in the periodic box.
+        auto mic = [](double d, double l) {
+          d -= l * std::round(d / l);
+          return d;
+        };
+        const double dx = mic(x * w.grid.hx - x0, w.grid.lx());
+        const double dy = mic(y * w.grid.hy - y0, w.grid.ly());
+        const double dz = mic(z * w.grid.hz - z0, w.grid.lz());
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        const double amp = std::exp(-r2 / (2.0 * width * width));
+        const double phase = kx * dx + ky * dy + kz * dz;
+        w.at(w.grid.index(x, y, z), s) =
+            std::complex<Real>(static_cast<Real>(amp * std::cos(phase)),
+                               static_cast<Real>(amp * std::sin(phase)));
+        norm2 += amp * amp;
+      }
+  norm2 *= w.grid.dv();
+  const Real inv = static_cast<Real>(1.0 / std::sqrt(norm2));
+  for (std::size_t g = 0; g < w.grid.size(); ++g) w.at(g, s) *= inv;
+}
+
+template void init_plane_waves<float>(SoAWave<float>&);
+template void init_plane_waves<double>(SoAWave<double>&);
+template void set_gaussian_packet<float>(SoAWave<float>&, std::size_t, double, double,
+                                         double, double, double, double, double);
+template void set_gaussian_packet<double>(SoAWave<double>&, std::size_t, double, double,
+                                          double, double, double, double, double);
+
+} // namespace mlmd::lfd

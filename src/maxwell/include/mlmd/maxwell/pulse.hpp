@@ -1,0 +1,46 @@
+#pragma once
+// Laser pulse sources. For uniform illumination of a single DC domain the
+// analytic vector potential A(t) is used directly (dipole approximation);
+// the multiscale Maxwell solver injects the same pulse as a soft source.
+
+#include <cmath>
+#include <numbers>
+
+namespace mlmd::maxwell {
+
+/// Gaussian-envelope linearly-polarized pulse, described by its peak
+/// electric field E0 [a.u.], carrier angular frequency omega [a.u.],
+/// envelope centre t0 and FWHM duration [a.u.].
+struct Pulse {
+  double e0 = 0.01;
+  double omega = 0.06; ///< ~1.6 eV carrier
+  double t0 = 0.0;
+  double fwhm = 100.0;
+
+  double envelope(double t) const {
+    const double sigma = fwhm / (2.0 * std::sqrt(2.0 * std::log(2.0)));
+    const double x = (t - t0) / sigma;
+    return std::exp(-0.5 * x * x);
+  }
+
+  /// Electric field E(t) = E0 env(t) cos(omega (t - t0)).
+  double efield(double t) const {
+    return e0 * envelope(t) * std::cos(omega * (t - t0));
+  }
+
+  /// Vector potential in the velocity gauge, A(t) = -c * integral E dt'.
+  /// For a slowly-varying envelope, A(t) ~ -(c E0/omega) env(t) sin(omega(t-t0)).
+  double apot(double t) const;
+
+  /// Pulse fluence integral E^2 dt (proxy for absorbed dose scaling).
+  double fluence() const {
+    const double sigma = fwhm / (2.0 * std::sqrt(2.0 * std::log(2.0)));
+    return 0.5 * e0 * e0 * sigma * std::sqrt(std::numbers::pi);
+  }
+};
+
+inline double Pulse::apot(double t) const {
+  return -137.035999 * (e0 / omega) * envelope(t) * std::sin(omega * (t - t0));
+}
+
+} // namespace mlmd::maxwell

@@ -1,0 +1,64 @@
+#include "mlmd/mesh/baseline.hpp"
+
+#include "mlmd/common/timer.hpp"
+#include "mlmd/la/ortho.hpp"
+#include "mlmd/lfd/kin_prop.hpp"
+#include "mlmd/lfd/vloc.hpp"
+
+namespace mlmd::mesh {
+namespace {
+
+grid::Grid3 cube(std::size_t n) { return grid::Grid3{n, n, n, 0.6, 0.6, 0.6}; }
+
+std::vector<lfd::Ion> center_ion(const grid::Grid3& g) {
+  return {lfd::Ion{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 2.0, 2.0}};
+}
+
+} // namespace
+
+BaselineResult run_global_baseline(std::size_t n, std::size_t norb, int nsteps,
+                                   double dt_qd) {
+  const auto g = cube(n);
+  lfd::SoAWave<double> w(g, norb);
+  lfd::init_plane_waves(w);
+  la::mgs_orthonormalize(w.psi, g.dv());
+  auto vloc = lfd::ionic_potential(g, center_ion(g));
+
+  lfd::KinParams kp;
+  kp.dt = dt_qd;
+
+  Timer t;
+  for (int i = 0; i < nsteps; ++i) {
+    lfd::vloc_prop(w, vloc, 0.5 * dt_qd);
+    lfd::kin_prop(w, kp, lfd::KinVariant::kParallel);
+    lfd::vloc_prop(w, vloc, 0.5 * dt_qd);
+    // The conventional-code cost driver: full re-orthonormalization.
+    la::mgs_orthonormalize(w.psi, g.dv());
+  }
+  BaselineResult r;
+  r.seconds_per_qd_step = t.seconds() / nsteps;
+  r.electrons = 2 * norb;
+  r.t2s_per_electron = r.seconds_per_qd_step / static_cast<double>(r.electrons);
+  return r;
+}
+
+BaselineResult run_dc_domain(std::size_t n, std::size_t norb, int nsteps,
+                             double dt_qd) {
+  const auto g = cube(n);
+  lfd::LfdOptions opt;
+  opt.dt_qd = dt_qd;
+  opt.self_consistent = false; // isolate propagation cost, as in Table III
+  lfd::LfdDomain<float> dom(g, norb, opt);
+  dom.initialize(center_ion(g), norb / 2);
+
+  const double a[3] = {0, 0, 0};
+  Timer t;
+  dom.run_qd(nsteps, a);
+  BaselineResult r;
+  r.seconds_per_qd_step = t.seconds() / nsteps;
+  r.electrons = 2 * norb;
+  r.t2s_per_electron = r.seconds_per_qd_step / static_cast<double>(r.electrons);
+  return r;
+}
+
+} // namespace mlmd::mesh

@@ -1,0 +1,106 @@
+#include "mlmd/mesh/global_potential.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numbers>
+
+#include "mlmd/mg/multigrid.hpp"
+
+namespace mlmd::mesh {
+
+GlobalMeshResult run_global_mesh(const GlobalMeshOptions& opt) {
+  const int d = opt.domains_per_axis;
+  const int nranks = d * d * d;
+  GlobalMeshResult result;
+  std::mutex result_mu;
+
+  auto traffic = par::run(nranks, [&](par::Comm& comm) {
+    const int rank = comm.rank();
+    grid::DcDecomposition dec(opt.global, d, d, d, opt.buffer);
+    const auto& dom = dec.domain(rank);
+    const grid::Grid3& g = opt.global;
+
+    // One ion per domain core centre; every rank knows all of them so the
+    // global ionic potential is assembled identically everywhere.
+    std::vector<lfd::Ion> all_ions;
+    for (int a = 0; a < dec.ndomains(); ++a) {
+      const auto& da = dec.domain(a);
+      all_ions.push_back(
+          {(static_cast<double>(da.core0[0]) + 0.5 * da.coreN[0]) * g.hx,
+           (static_cast<double>(da.core0[1]) + 0.5 * da.coreN[1]) * g.hy,
+           (static_cast<double>(da.core0[2]) + 0.5 * da.coreN[2]) * g.hz,
+           2.0, 1.5, 2.0});
+    }
+    const auto v_ion_global = lfd::ionic_potential(g, all_ions);
+
+    // Local LFD domain: externally driven potential (self-consistency
+    // happens at the global level below).
+    lfd::LfdOptions lopt = opt.lfd;
+    lopt.self_consistent = false;
+    lfd::LfdDomain<float> local(dom.local, opt.norb, lopt);
+    // Initialize against this domain's ion, expressed in local coords.
+    const double bx = static_cast<double>(dom.buffer) * g.hx;
+    lfd::Ion my_ion{bx + 0.5 * dom.coreN[0] * g.hx,
+                    static_cast<double>(dom.buffer) * g.hy + 0.5 * dom.coreN[1] * g.hy,
+                    static_cast<double>(dom.buffer) * g.hz + 0.5 * dom.coreN[2] * g.hz,
+                    2.0, 1.5, 2.0};
+    local.initialize({my_ion}, opt.nfilled);
+
+    mg::Multigrid mg(g.nx, g.ny, g.nz, g.hx, g.hy, g.hz);
+    std::vector<double> v_hartree(g.size(), 0.0);
+    double total_electrons = 0.0;
+
+    for (int step = 0; step < opt.md_steps; ++step) {
+      // (1)+(2) recombine the global density from domain cores.
+      std::vector<double> rho_global(g.size(), 0.0);
+      auto rho_local = local.density_field();
+      dec.scatter_core(rank, rho_local, rho_global);
+      rho_global = comm.allreduce(std::span<const double>(rho_global),
+                                  par::ReduceOp::kSum);
+      total_electrons = 0.0;
+      for (double v : rho_global) total_electrons += v;
+      total_electrons *= g.dv();
+
+      // (3) global sparse Hartree solve (redundant, deterministic).
+      std::vector<double> f(rho_global.size());
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = 4.0 * std::numbers::pi * rho_global[i];
+      mg.solve(f, v_hartree);
+
+      // (4) total global KS potential.
+      auto v_global = v_ion_global;
+      for (std::size_t i = 0; i < v_global.size(); ++i)
+        v_global[i] += v_hartree[i];
+      lfd::add_xc_potential(rho_global, v_global);
+
+      // (5) hand each domain its core+buffer window as a potential delta.
+      auto v_local = dec.gather(rank, v_global);
+      std::vector<double> dv(v_local.size());
+      for (std::size_t i = 0; i < dv.size(); ++i)
+        dv[i] = v_local[i] - local.vloc()[i];
+      local.apply_delta_vloc(dv);
+
+      // (6) QD propagation under the uniform-illumination pulse.
+      double a[3] = {0, 0, 0};
+      for (int n = 0; n < opt.nqd_per_md; ++n) {
+        const double t =
+            (step * opt.nqd_per_md + n + 0.5) * opt.lfd.dt_qd;
+        a[1] = opt.use_pulse ? opt.pulse.apot(t) : 0.0;
+        local.qd_step(a);
+      }
+    }
+
+    auto gathered = comm.gather(local.n_exc(), 0);
+    if (rank == 0) {
+      std::lock_guard lk(result_mu);
+      result.n_exc_per_domain = std::move(gathered);
+      for (double v : result.n_exc_per_domain) result.total_n_exc += v;
+      result.total_electrons = total_electrons;
+    }
+  });
+
+  result.traffic = traffic;
+  return result;
+}
+
+} // namespace mlmd::mesh

@@ -1,0 +1,34 @@
+#pragma once
+// Non-DC Maxwell-Ehrenfest baseline ("conventional code") for the Table I
+// time-to-solution comparison. It propagates ALL electrons in a single
+// global domain (no divide-and-conquer): the grid and the orbital count
+// both grow with the electron count, and — as plane-wave real-time TDDFT
+// codes do — every QD step re-orthonormalizes the full orbital set, an
+// O(N_grid * N_orb^2) operation. Per-electron cost therefore grows with
+// system size, whereas DC-MESH's stays constant: exactly the gap Table I
+// quantifies.
+
+#include <cstddef>
+
+#include "mlmd/lfd/domain.hpp"
+
+namespace mlmd::mesh {
+
+struct BaselineResult {
+  double seconds_per_qd_step = 0.0;
+  double t2s_per_electron = 0.0; ///< sec / (electron * step)
+  std::size_t electrons = 0;
+};
+
+/// Time `nsteps` QD steps of the global (non-DC) propagation for a system
+/// of `norb` doubly-occupied orbitals on an `n`^3 grid.
+BaselineResult run_global_baseline(std::size_t n, std::size_t norb, int nsteps,
+                                   double dt_qd = 0.04);
+
+/// Time `nsteps` QD steps of one DC-MESH domain with the same granularity;
+/// in the DC scheme total cost = domains x this, so per-electron T2S is
+/// size-independent by construction (paper Sec. VII.B FLOP accounting).
+BaselineResult run_dc_domain(std::size_t n, std::size_t norb, int nsteps,
+                             double dt_qd = 0.04);
+
+} // namespace mlmd::mesh

@@ -1,0 +1,45 @@
+#pragma once
+// Time-series recorder for DC-MESH observables: collects per-MD-step
+// scalars (time, n_exc, electron energy, current, shadow-dynamics
+// traffic) and writes machine-readable CSV — the bookkeeping a production
+// run needs for post-processing and for feeding XS-NNQMD offline.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mlmd/mesh/dcmesh.hpp"
+
+namespace mlmd::mesh {
+
+class Recorder {
+public:
+  struct Row {
+    double t = 0.0;       ///< simulation time [a.u.]
+    double n_exc = 0.0;
+    double energy = 0.0;  ///< electron energy [Ha]
+    double jy = 0.0;      ///< macroscopic transverse current
+    double delta_f_norm = 0.0;
+    std::size_t shadow_bytes = 0;
+  };
+
+  /// Record one MD step's outcome (call right after DcMeshDomain::md_step).
+  void record(const DcMeshDomain& dom, const StepStats& stats, double a_value);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// n_exc(t) series (for Eq. 4 hand-off or plotting).
+  std::vector<double> n_exc_series() const;
+
+  /// Write CSV with a header row. Overwrites.
+  void write_csv(const std::string& path) const;
+
+  /// Parse a CSV produced by write_csv.
+  static std::vector<Row> read_csv(const std::string& path);
+
+private:
+  std::vector<Row> rows_;
+};
+
+} // namespace mlmd::mesh

@@ -1,0 +1,66 @@
+#include "mlmd/mesh/recorder.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace mlmd::mesh {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void Recorder::record(const DcMeshDomain& dom, const StepStats& stats,
+                      double a_value) {
+  Row row;
+  row.t = dom.time();
+  row.n_exc = stats.n_exc;
+  row.energy = stats.electron_energy;
+  row.jy = dom.current(a_value)[1];
+  row.delta_f_norm = stats.delta_f_norm;
+  row.shadow_bytes = stats.bytes_qxmd_to_lfd + stats.bytes_lfd_to_qxmd;
+  rows_.push_back(row);
+}
+
+std::vector<double> Recorder::n_exc_series() const {
+  std::vector<double> s;
+  s.reserve(rows_.size());
+  for (const auto& r : rows_) s.push_back(r.n_exc);
+  return s;
+}
+
+void Recorder::write_csv(const std::string& path) const {
+  File fp(std::fopen(path.c_str(), "w"));
+  if (!fp) throw std::runtime_error("Recorder::write_csv: cannot open " + path);
+  std::fprintf(fp.get(), "t,n_exc,energy,jy,delta_f_norm,shadow_bytes\n");
+  for (const auto& r : rows_)
+    std::fprintf(fp.get(), "%.12g,%.12g,%.12g,%.12g,%.12g,%zu\n", r.t, r.n_exc,
+                 r.energy, r.jy, r.delta_f_norm, r.shadow_bytes);
+}
+
+std::vector<Recorder::Row> Recorder::read_csv(const std::string& path) {
+  File fp(std::fopen(path.c_str(), "r"));
+  if (!fp) throw std::runtime_error("Recorder::read_csv: cannot open " + path);
+  char line[512];
+  if (!std::fgets(line, sizeof line, fp.get()))
+    throw std::runtime_error("Recorder::read_csv: empty file " + path);
+  std::vector<Row> rows;
+  while (std::fgets(line, sizeof line, fp.get())) {
+    Row r;
+    std::size_t bytes = 0;
+    if (std::sscanf(line, "%lg,%lg,%lg,%lg,%lg,%zu", &r.t, &r.n_exc, &r.energy,
+                    &r.jy, &r.delta_f_norm, &bytes) != 6)
+      throw std::runtime_error("Recorder::read_csv: bad row in " + path);
+    r.shadow_bytes = bytes;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+} // namespace mlmd::mesh

@@ -1,0 +1,189 @@
+#include "mlmd/nnq/allegro.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::nnq {
+
+AtomModel::AtomModel(RadialBasis basis, std::vector<std::size_t> hidden,
+                     unsigned long long seed, int ntypes)
+    : basis_(std::move(basis)), net_([&] {
+        std::vector<std::size_t> sizes;
+        sizes.push_back(basis_.size() * static_cast<std::size_t>(ntypes));
+        for (auto h : hidden) sizes.push_back(h);
+        sizes.push_back(1);
+        return sizes;
+      }(), seed),
+      ntypes_(ntypes) {
+  if (ntypes < 1) throw std::invalid_argument("AtomModel: ntypes >= 1");
+}
+
+AtomModel::AtomModel(RadialBasis basis, Mlp net, int ntypes)
+    : basis_(std::move(basis)), net_(std::move(net)), ntypes_(ntypes) {
+  if (ntypes < 1) throw std::invalid_argument("AtomModel: ntypes >= 1");
+  if (net_.n_in() != basis_.size() * static_cast<std::size_t>(ntypes))
+    throw std::invalid_argument("AtomModel: network input != basis*ntypes");
+  if (net_.n_out() != 1)
+    throw std::invalid_argument("AtomModel: network must be scalar-output");
+}
+
+AtomModel::AtomModel(RadialBasis basis, AngularBasis angular,
+                     std::vector<std::size_t> hidden, unsigned long long seed,
+                     int ntypes)
+    : basis_(std::move(basis)), angular_(std::move(angular)), net_([&] {
+        std::vector<std::size_t> sizes;
+        sizes.push_back(basis_.size() * static_cast<std::size_t>(ntypes) +
+                        angular_.size());
+        for (auto h : hidden) sizes.push_back(h);
+        sizes.push_back(1);
+        return sizes;
+      }(), seed),
+      ntypes_(ntypes) {
+  if (ntypes < 1) throw std::invalid_argument("AtomModel: ntypes >= 1");
+}
+
+double AtomModel::energy_forces(const qxmd::Atoms& atoms,
+                                const qxmd::NeighborList& nl,
+                                std::vector<double>& forces,
+                                std::size_t block_size) const {
+  const std::size_t n = atoms.n();
+  const std::size_t nb = basis_.size();
+  const std::size_t nbt = nb * static_cast<std::size_t>(ntypes_);
+  const std::size_t width = feature_width();
+  forces.assign(3 * n, 0.0);
+  peak_scratch_ = 0;
+  if (n == 0) return 0.0;
+  if (block_size == 0) block_size = n;
+
+  double energy = 0.0;
+  // dE/dG for every atom, filled block by block; the per-block scratch
+  // (descriptors of one batch) is what block inference bounds.
+  std::vector<double> de_dg(n * width);
+  std::vector<double> g(nb), dg(nb), feat(width);
+
+  for (std::size_t b0 = 0; b0 < n; b0 += block_size) {
+    const std::size_t b1 = std::min(b0 + block_size, n);
+    const std::size_t scratch = (b1 - b0) * width * sizeof(double);
+    peak_scratch_ = std::max(peak_scratch_, scratch);
+    for (std::size_t i = b0; i < b1; ++i) {
+      feat.assign(width, 0.0);
+      for (auto j : nl.neighbors(i)) {
+        const auto d = atoms.box.mic(atoms.pos(i), atoms.pos(j));
+        const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+        if (r <= 0 || r >= basis_.rc) continue;
+        basis_.eval(r, g, dg);
+        const std::size_t ch =
+            static_cast<std::size_t>(atoms.type[j] % ntypes_) * nb;
+        for (std::size_t k = 0; k < nb; ++k) feat[ch + k] += g[k];
+      }
+      if (has_angular())
+        angular_features_for_atom(atoms, nl, angular_, i, feat.data() + nbt);
+      energy += net_.value(feat);
+      auto gi = net_.grad_input(feat);
+      for (std::size_t k = 0; k < width; ++k) de_dg[i * width + k] = gi[k];
+    }
+  }
+
+  // Angular force contributions (three-body chain rule).
+  if (has_angular())
+    angular_forces(atoms, nl, angular_, de_dg, width, nbt, forces);
+
+  // Force assembly: F_i -= dE_i/dG_ik * dG_ik/dr over pairs; each directed
+  // pair (i,j) moves both endpoints (Newton's third law built in).
+  flops::add(12ull * nb * nl.pair_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto j : nl.neighbors(i)) {
+      const auto d = atoms.box.mic(atoms.pos(i), atoms.pos(j));
+      const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+      if (r <= 0 || r >= basis_.rc) continue;
+      basis_.eval(r, g, dg);
+      const std::size_t ch =
+          static_cast<std::size_t>(atoms.type[j] % ntypes_) * nb;
+      double c = 0.0;
+      for (std::size_t k = 0; k < nb; ++k) c += de_dg[i * width + ch + k] * dg[k];
+      // dr/dr_i = d/r (d = r_i - r_j).
+      for (int k = 0; k < 3; ++k) {
+        const double comp = c * d[static_cast<std::size_t>(k)] / r;
+        forces[3 * i + static_cast<std::size_t>(k)] -= comp;
+        forces[3 * j + static_cast<std::size_t>(k)] += comp;
+      }
+    }
+  }
+  return energy;
+}
+
+LatticeModel::LatticeModel(std::vector<std::size_t> hidden, unsigned long long seed)
+    : net_([&] {
+        std::vector<std::size_t> sizes;
+        sizes.push_back(kLatticeFeatures);
+        for (auto h : hidden) sizes.push_back(h);
+        sizes.push_back(1);
+        return sizes;
+      }(), seed) {}
+
+double LatticeModel::energy(const ferro::FerroLattice& lat) const {
+  double e = 0.0;
+  std::vector<double> feat;
+#pragma omp parallel for collapse(2) reduction(+ : e) schedule(static) \
+    firstprivate(feat)
+  for (std::size_t x = 0; x < lat.lx(); ++x)
+    for (std::size_t y = 0; y < lat.ly(); ++y) {
+      lattice_features(lat, x, y, feat);
+      e += net_.value(feat);
+    }
+  return e;
+}
+
+std::vector<ferro::Vec3> LatticeModel::forces(const ferro::FerroLattice& lat) const {
+  const std::size_t lx = lat.lx(), ly = lat.ly();
+  std::vector<ferro::Vec3> f(lx * ly, ferro::Vec3{0, 0, 0});
+  std::vector<double> feat;
+
+  for (std::size_t x = 0; x < lx; ++x) {
+    const std::size_t xp = (x + 1) % lx, xm = (x + lx - 1) % lx;
+    for (std::size_t y = 0; y < ly; ++y) {
+      const std::size_t yp = (y + 1) % ly, ym = (y + ly - 1) % ly;
+      lattice_features(lat, x, y, feat);
+      const auto gi = net_.grad_input(feat);
+      const auto& ui = lat.u(x, y);
+      // Feature layout (descriptor.cpp): [u_i (3), |u_i|^2, u_xp (3),
+      // u_xm (3), u_yp (3), u_ym (3)].
+      auto& fi = f[lat.index(x, y)];
+      for (int k = 0; k < 3; ++k)
+        fi[static_cast<std::size_t>(k)] -=
+            gi[static_cast<std::size_t>(k)] +
+            2.0 * gi[3] * ui[static_cast<std::size_t>(k)];
+      const std::size_t nbr[4] = {lat.index(xp, y), lat.index(xm, y),
+                                  lat.index(x, yp), lat.index(x, ym)};
+      for (int nbi = 0; nbi < 4; ++nbi)
+        for (int k = 0; k < 3; ++k)
+          f[nbr[nbi]][static_cast<std::size_t>(k)] -=
+              gi[4 + static_cast<std::size_t>(nbi) * 3 + static_cast<std::size_t>(k)];
+    }
+  }
+  return f;
+}
+
+double excitation_weight(double n_exc, double n_sat) {
+  if (n_sat <= 0) return 0.0;
+  return std::min(1.0, std::max(0.0, n_exc / n_sat));
+}
+
+std::vector<ferro::Vec3> xs_mixed_forces(const LatticeModel& gs,
+                                         const LatticeModel& xs,
+                                         const ferro::FerroLattice& lat,
+                                         double n_exc, double n_sat) {
+  const double w = excitation_weight(n_exc, n_sat);
+  auto fg = gs.forces(lat);
+  auto fx = xs.forces(lat);
+  for (std::size_t i = 0; i < fg.size(); ++i)
+    for (int k = 0; k < 3; ++k)
+      fg[i][static_cast<std::size_t>(k)] =
+          (1.0 - w) * fg[i][static_cast<std::size_t>(k)] +
+          w * fx[i][static_cast<std::size_t>(k)];
+  return fg;
+}
+
+} // namespace mlmd::nnq

@@ -1,0 +1,70 @@
+#include "mlmd/nnq/fidelity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mlmd/common/rng.hpp"
+
+namespace mlmd::nnq {
+
+long time_to_failure(const LatticeModel& model, std::size_t lx, std::size_t ly,
+                     const ferro::FerroParams& params, FailureOptions opt) {
+  ferro::FerroLattice lat(lx, ly, params);
+  Rng rng(opt.seed);
+  const double amp = std::max(lat.well_amplitude(), 0.3);
+  for (auto& u : lat.field())
+    u = {0.1 * amp * rng.normal(), 0.1 * amp * rng.normal(),
+         amp + 0.1 * amp * rng.normal()};
+
+  // Optionally perturb a copy of the weights each step: a controlled
+  // stand-in for the rare mispredictions that sharpness-aware training
+  // suppresses. A sharper model (larger grad-input sensitivity) amplifies
+  // the same weight noise into larger force outliers.
+  LatticeModel noisy = model;
+  const double dt = params.dt;
+
+  for (long step = 0; step < opt.max_steps; ++step) {
+    const LatticeModel* use = &model;
+    if (opt.weight_noise > 0.0) {
+      noisy.net().params() = model.net().params();
+      for (auto& w : noisy.net().params()) w += opt.weight_noise * rng.normal();
+      use = &noisy;
+    }
+    auto f = use->forces(lat);
+    for (const auto& fi : f)
+      for (double c : fi)
+        if (!std::isfinite(c) || std::abs(c) > opt.force_threshold) return step;
+    // Langevin update with the NN forces.
+    const double c1 = std::exp(-params.gamma * dt);
+    const double c2 = std::sqrt((1.0 - c1 * c1) * opt.kT / params.mass);
+    auto& u = lat.field();
+    auto& v = lat.velocity();
+    for (std::size_t i = 0; i < u.size(); ++i)
+      for (int k = 0; k < 3; ++k) {
+        v[i][static_cast<std::size_t>(k)] +=
+            dt * f[i][static_cast<std::size_t>(k)] / params.mass;
+        v[i][static_cast<std::size_t>(k)] =
+            c1 * v[i][static_cast<std::size_t>(k)] + c2 * rng.normal();
+        u[i][static_cast<std::size_t>(k)] += dt * v[i][static_cast<std::size_t>(k)];
+      }
+  }
+  return opt.max_steps;
+}
+
+double powerlaw_exponent(const std::vector<double>& n, const std::vector<double>& t) {
+  if (n.size() != t.size() || n.size() < 2)
+    throw std::invalid_argument("powerlaw_exponent: need >= 2 points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double m = static_cast<double>(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double x = std::log(n[i]);
+    const double y = std::log(std::max(t[i], 1.0));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (m * sxy - sx * sy) / (m * sxx - sx * sx);
+}
+
+} // namespace mlmd::nnq

@@ -1,0 +1,59 @@
+#pragma once
+// Three-body angular symmetry functions (Behler G4-type) with analytic
+// force contributions — the accuracy step beyond radial fingerprints that
+// separates Allegro-class models from pair potentials:
+//
+//   G(i; zeta, lambda) = 2^(1-zeta) sum_{j<k in N(i)}
+//       (1 + lambda cos th_jik)^zeta
+//       * exp(-eta (r_ij^2 + r_ik^2)) * fc(r_ij) fc(r_ik)
+//
+// Invariant under rotations/translations/permutations, so an energy model
+// on top of it yields exactly equivariant forces. The analytic gradient
+// distributes to all three atoms of each triplet (Newton's third law sums
+// to zero by construction; tests pin both properties down).
+
+#include <cstddef>
+#include <vector>
+
+#include "mlmd/nnq/descriptor.hpp"
+#include "mlmd/qxmd/atoms.hpp"
+#include "mlmd/qxmd/neighbor.hpp"
+
+namespace mlmd::nnq {
+
+struct AngularBasis {
+  double rc = 6.0;
+  double eta = 0.05;
+  /// (zeta, lambda) channel list; lambda is +1 or -1.
+  std::vector<std::pair<double, double>> channels;
+
+  /// Standard ladder: zeta in {1, 2, 4, ...} x lambda in {+1, -1}.
+  static AngularBasis make(std::size_t nzeta, double rc, double eta);
+
+  std::size_t size() const { return channels.size(); }
+
+  double fc(double r) const;
+  double dfc(double r) const;
+};
+
+/// Angular fingerprints of a single atom, written to out[0..size).
+void angular_features_for_atom(const qxmd::Atoms& atoms,
+                               const qxmd::NeighborList& nl,
+                               const AngularBasis& basis, std::size_t i,
+                               double* out);
+
+/// Angular fingerprints of every atom: natoms x basis.size(), written into
+/// `out` at `stride` with `offset` (so they can interleave with radial
+/// channels in a combined feature vector).
+void angular_descriptors(const qxmd::Atoms& atoms, const qxmd::NeighborList& nl,
+                         const AngularBasis& basis, std::vector<double>& out,
+                         std::size_t stride, std::size_t offset);
+
+/// Accumulate -dE/dr from the angular channels into `forces` (3N), given
+/// dE/dG for every atom laid out like angular_descriptors wrote it.
+void angular_forces(const qxmd::Atoms& atoms, const qxmd::NeighborList& nl,
+                    const AngularBasis& basis, const std::vector<double>& de_dg,
+                    std::size_t stride, std::size_t offset,
+                    std::vector<double>& forces);
+
+} // namespace mlmd::nnq

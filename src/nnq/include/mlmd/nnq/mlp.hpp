@@ -1,0 +1,64 @@
+#pragma once
+// Fully-connected network with manual forward/backward passes — the
+// inference and training core of the XS-NNQMD module. No autograd
+// framework: the architecture is fixed (affine layers + tanh hidden
+// activations, linear output), so gradients w.r.t. both weights (for
+// training) and inputs (for interatomic forces, F = -dE/dG . dG/dr) are
+// coded analytically.
+//
+// Weights are stored flat so optimizers (Adam, SAM) treat the model as a
+// single parameter vector — this is also what makes the paper's
+// weight-count accounting (T2S per atom *per weight*, Table II) direct.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mlmd/common/rng.hpp"
+
+namespace mlmd::nnq {
+
+class Mlp {
+public:
+  /// sizes = {n_in, n_h1, ..., n_out}. Hidden activations are tanh; the
+  /// output layer is linear.
+  explicit Mlp(std::vector<std::size_t> sizes, unsigned long long seed = 1234);
+
+  std::size_t n_in() const { return sizes_.front(); }
+  std::size_t n_out() const { return sizes_.back(); }
+  std::size_t n_params() const { return w_.size(); }
+
+  std::vector<double>& params() { return w_; }
+  const std::vector<double>& params() const { return w_; }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+  /// Plain inference (no caching), thread-safe.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Scalar-output convenience.
+  double value(const std::vector<double>& x) const { return forward(x)[0]; }
+
+  /// d y_0 / d x for the scalar-output case (thread-safe; used for forces).
+  std::vector<double> grad_input(const std::vector<double>& x) const;
+
+  /// Training pass: forward + backward for one sample. Accumulates
+  /// dL/dw into `grad` (size n_params) given dL/dy, and returns y.
+  std::vector<double> forward_backward(const std::vector<double>& x,
+                                       const std::vector<double>& dl_dy,
+                                       std::vector<double>& grad) const;
+
+  /// Serialize / deserialize (text format with layer sizes header).
+  void save(const std::string& path) const;
+  static Mlp load(const std::string& path);
+
+private:
+  struct LayerView {
+    std::size_t w_off, b_off, in, out;
+  };
+  std::vector<LayerView> layers() const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<double> w_; ///< all weights then all biases, layer by layer
+};
+
+} // namespace mlmd::nnq

@@ -1,0 +1,38 @@
+#pragma once
+// Adaptive multiscale NN/MM embedding (paper Sec. V.A.8): the
+// metamodel-space extrapolation that dynamically embeds first-principles-
+// accuracy NNQMD forces inside a cheap classical (MM) calculation where
+// high fidelity is needed. Atoms inside the QM sphere feel pure NN
+// forces, atoms outside feel pure MM (LJ) forces, and a smooth cosine
+// blend over the buffer shell keeps forces continuous as atoms cross the
+// boundary — the "adaptive" part of adaptive QM/MM.
+
+#include <array>
+#include <vector>
+
+#include "mlmd/nnq/allegro.hpp"
+#include "mlmd/qxmd/pair_potential.hpp"
+
+namespace mlmd::nnq {
+
+struct EmbeddingOptions {
+  std::array<double, 3> center = {0, 0, 0}; ///< QM region centre [Bohr]
+  double r_qm = 6.0;     ///< pure-NN radius
+  double r_blend = 3.0;  ///< blend shell thickness
+  qxmd::LjParams mm;     ///< the MM force field
+};
+
+/// Per-atom NN weight w(r): 1 inside r_qm, cosine ramp to 0 across the
+/// blend shell, 0 outside.
+double embedding_weight(const EmbeddingOptions& opt, const qxmd::Atoms& atoms,
+                        std::size_t i);
+
+/// Blended forces F_i = w_i F_NN,i + (1 - w_i) F_MM,i. Returns the
+/// energy estimate E = sum_i (w_i e_NN + (1-w_i) e_MM) with per-atom
+/// energy partitioning approximated by equal shares of each model's
+/// total. `nl` must cover max(NN cutoff, MM cutoff).
+double embedded_forces(const AtomModel& nn, const qxmd::Atoms& atoms,
+                       const qxmd::NeighborList& nl, const EmbeddingOptions& opt,
+                       std::vector<double>& forces);
+
+} // namespace mlmd::nnq

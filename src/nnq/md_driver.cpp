@@ -1,0 +1,116 @@
+#include "mlmd/nnq/md_driver.hpp"
+
+#include <cmath>
+
+#include "mlmd/nnq/optimizer.hpp"
+
+namespace mlmd::nnq {
+
+NnqmdDriver::NnqmdDriver(const AtomModel& gs, const AtomModel* xs,
+                         qxmd::Atoms atoms, MdOptions opt)
+    : gs_(gs), xs_(xs), atoms_(std::move(atoms)), opt_(opt), rng_(opt.seed) {
+  nl_.emplace(atoms_, gs_.basis().rc + opt_.skin);
+  epot_ = compute_forces(0.0);
+}
+
+double NnqmdDriver::compute_forces(double n_exc) {
+  double e = gs_.energy_forces(atoms_, *nl_, f_, opt_.block_size);
+  if (xs_) {
+    const double w = excitation_weight(n_exc, opt_.n_sat);
+    if (w > 0.0) {
+      const double e_xs = xs_->energy_forces(atoms_, *nl_, f_xs_, opt_.block_size);
+      for (std::size_t i = 0; i < f_.size(); ++i)
+        f_[i] = (1.0 - w) * f_[i] + w * f_xs_[i];
+      e = (1.0 - w) * e + w * e_xs;
+    }
+  }
+  return e;
+}
+
+double NnqmdDriver::step(double n_exc) {
+  const std::size_t n = atoms_.n();
+  const double dt = opt_.dt;
+
+  // Half kick + drift with the forces from the previous step.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 * dt / atoms_.mass[i];
+    for (int k = 0; k < 3; ++k) {
+      atoms_.vel(i)[k] += c * f_[3 * i + static_cast<std::size_t>(k)];
+      atoms_.pos(i)[k] += dt * atoms_.vel(i)[k];
+    }
+    atoms_.box.wrap(atoms_.pos(i));
+  }
+
+  ++steps_;
+  if (opt_.rebuild_every > 0 && steps_ % opt_.rebuild_every == 0)
+    nl_.emplace(atoms_, gs_.basis().rc + opt_.skin);
+
+  epot_ = compute_forces(n_exc);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 * dt / atoms_.mass[i];
+    for (int k = 0; k < 3; ++k)
+      atoms_.vel(i)[k] += c * f_[3 * i + static_cast<std::size_t>(k)];
+  }
+
+  if (opt_.langevin_kt >= 0.0) {
+    const double c1 = std::exp(-opt_.langevin_gamma * dt);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c2 =
+          std::sqrt((1.0 - c1 * c1) * opt_.langevin_kt / atoms_.mass[i]);
+      for (int k = 0; k < 3; ++k)
+        atoms_.vel(i)[k] = c1 * atoms_.vel(i)[k] + c2 * rng_.normal();
+    }
+  }
+
+  if (frames_) frames_->push_back(atoms_.v);
+  return epot_;
+}
+
+Dataset make_lj_dataset(const qxmd::Atoms& base, const RadialBasis& basis,
+                        const qxmd::LjParams& lj, std::size_t nconfigs,
+                        double displacement, unsigned long long seed) {
+  Dataset data;
+  data.reserve(nconfigs);
+  Rng rng(seed);
+  std::vector<double> tmp_forces;
+  for (std::size_t c = 0; c < nconfigs; ++c) {
+    qxmd::Atoms atoms = base;
+    for (auto& x : atoms.r) x += displacement * rng.normal();
+    for (std::size_t i = 0; i < atoms.n(); ++i) atoms.box.wrap(atoms.pos(i));
+
+    qxmd::NeighborList nl_ref(atoms, lj.rc);
+    EnergySample sample;
+    sample.energy = qxmd::lj_energy_forces(atoms, nl_ref, lj, tmp_forces);
+
+    qxmd::NeighborList nl_desc(atoms, basis.rc);
+    auto desc = atom_descriptors(atoms, nl_desc, basis);
+    const std::size_t nb = basis.size();
+    sample.features.reserve(atoms.n());
+    for (std::size_t i = 0; i < atoms.n(); ++i)
+      sample.features.emplace_back(desc.begin() + static_cast<std::ptrdiff_t>(i * nb),
+                                   desc.begin() + static_cast<std::ptrdiff_t>((i + 1) * nb));
+    data.push_back(std::move(sample));
+  }
+  return data;
+}
+
+double loss_sharpness(const Mlp& net, const Dataset& data, double rho,
+                      int nsamples, unsigned long long seed) {
+  Mlp probe = net;
+  const double base_loss = energy_mse(net, data);
+  Rng rng(seed);
+  double worst = 0.0;
+  for (int s = 0; s < nsamples; ++s) {
+    // Random unit direction, scaled to rho.
+    std::vector<double> dir(net.n_params());
+    for (auto& d : dir) d = rng.normal();
+    const double norm = grad_norm(dir) + 1e-300;
+    auto& w = probe.params();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = net.params()[i] + rho * dir[i] / norm;
+    worst = std::max(worst, energy_mse(probe, data) - base_loss);
+  }
+  return worst;
+}
+
+} // namespace mlmd::nnq

@@ -1,0 +1,183 @@
+#include "mlmd/nnq/mlp.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::nnq {
+
+Mlp::Mlp(std::vector<std::size_t> sizes, unsigned long long seed)
+    : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2) throw std::invalid_argument("Mlp: need >= 2 layers");
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l)
+    total += sizes_[l] * sizes_[l + 1] + sizes_[l + 1];
+  w_.resize(total);
+  Rng rng(seed);
+  std::size_t off = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const double scale = std::sqrt(2.0 / static_cast<double>(sizes_[l] + sizes_[l + 1]));
+    for (std::size_t i = 0; i < sizes_[l] * sizes_[l + 1]; ++i)
+      w_[off++] = scale * rng.normal();
+    for (std::size_t i = 0; i < sizes_[l + 1]; ++i) w_[off++] = 0.0; // biases
+  }
+}
+
+std::vector<Mlp::LayerView> Mlp::layers() const {
+  std::vector<LayerView> lv;
+  std::size_t off = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    LayerView v;
+    v.in = sizes_[l];
+    v.out = sizes_[l + 1];
+    v.w_off = off;
+    off += v.in * v.out;
+    v.b_off = off;
+    off += v.out;
+    lv.push_back(v);
+  }
+  return lv;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  if (x.size() != n_in()) throw std::invalid_argument("Mlp::forward: input size");
+  flops::add(2 * n_params());
+  std::vector<double> a = x, next;
+  const auto lv = layers();
+  for (std::size_t l = 0; l < lv.size(); ++l) {
+    const auto& L = lv[l];
+    next.assign(L.out, 0.0);
+    for (std::size_t o = 0; o < L.out; ++o) {
+      double acc = w_[L.b_off + o];
+      const double* wrow = w_.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) acc += wrow[i] * a[i];
+      next[o] = (l + 1 < lv.size()) ? std::tanh(acc) : acc;
+    }
+    a.swap(next);
+  }
+  return a;
+}
+
+std::vector<double> Mlp::grad_input(const std::vector<double>& x) const {
+  // Forward with cached pre-activations, then backprop d y0 / d x.
+  const auto lv = layers();
+  flops::add(4 * n_params());
+  std::vector<std::vector<double>> acts;
+  acts.push_back(x);
+  for (std::size_t l = 0; l < lv.size(); ++l) {
+    const auto& L = lv[l];
+    std::vector<double> next(L.out);
+    for (std::size_t o = 0; o < L.out; ++o) {
+      double acc = w_[L.b_off + o];
+      const double* wrow = w_.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) acc += wrow[i] * acts[l][i];
+      next[o] = (l + 1 < lv.size()) ? std::tanh(acc) : acc;
+    }
+    acts.push_back(std::move(next));
+  }
+
+  std::vector<double> delta(sizes_.back(), 0.0);
+  delta[0] = 1.0; // d y0 / d y0
+  for (std::size_t li = lv.size(); li-- > 0;) {
+    const auto& L = lv[li];
+    // delta currently refers to post-activation of layer li output.
+    // Convert to pre-activation: multiply by (1 - a^2) for hidden layers.
+    if (li + 1 < lv.size()) {
+      for (std::size_t o = 0; o < L.out; ++o) {
+        const double a = acts[li + 1][o];
+        delta[o] *= (1.0 - a * a);
+      }
+    }
+    std::vector<double> prev(L.in, 0.0);
+    for (std::size_t o = 0; o < L.out; ++o) {
+      const double* wrow = w_.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) prev[i] += wrow[i] * delta[o];
+    }
+    delta.swap(prev);
+  }
+  return delta;
+}
+
+std::vector<double> Mlp::forward_backward(const std::vector<double>& x,
+                                          const std::vector<double>& dl_dy,
+                                          std::vector<double>& grad) const {
+  if (grad.size() != w_.size())
+    throw std::invalid_argument("Mlp::forward_backward: grad buffer size");
+  const auto lv = layers();
+  flops::add(6 * n_params());
+  std::vector<std::vector<double>> acts;
+  acts.push_back(x);
+  for (std::size_t l = 0; l < lv.size(); ++l) {
+    const auto& L = lv[l];
+    std::vector<double> next(L.out);
+    for (std::size_t o = 0; o < L.out; ++o) {
+      double acc = w_[L.b_off + o];
+      const double* wrow = w_.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) acc += wrow[i] * acts[l][i];
+      next[o] = (l + 1 < lv.size()) ? std::tanh(acc) : acc;
+    }
+    acts.push_back(std::move(next));
+  }
+
+  std::vector<double> delta = dl_dy;
+  for (std::size_t li = lv.size(); li-- > 0;) {
+    const auto& L = lv[li];
+    if (li + 1 < lv.size()) {
+      for (std::size_t o = 0; o < L.out; ++o) {
+        const double a = acts[li + 1][o];
+        delta[o] *= (1.0 - a * a);
+      }
+    }
+    for (std::size_t o = 0; o < L.out; ++o) {
+      grad[L.b_off + o] += delta[o];
+      double* grow = grad.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) grow[i] += delta[o] * acts[li][i];
+    }
+    std::vector<double> prev(L.in, 0.0);
+    for (std::size_t o = 0; o < L.out; ++o) {
+      const double* wrow = w_.data() + L.w_off + o * L.in;
+      for (std::size_t i = 0; i < L.in; ++i) prev[i] += wrow[i] * delta[o];
+    }
+    delta.swap(prev);
+  }
+  return acts.back();
+}
+
+void Mlp::save(const std::string& path) const {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) throw std::runtime_error("Mlp::save: cannot open " + path);
+  std::fprintf(fp, "mlp %zu\n", sizes_.size());
+  for (auto s : sizes_) std::fprintf(fp, "%zu ", s);
+  std::fprintf(fp, "\n");
+  for (double w : w_) std::fprintf(fp, "%.17g\n", w);
+  std::fclose(fp);
+}
+
+Mlp Mlp::load(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "r");
+  if (!fp) throw std::runtime_error("Mlp::load: cannot open " + path);
+  char tag[8];
+  std::size_t nlayers = 0;
+  if (std::fscanf(fp, "%7s %zu", tag, &nlayers) != 2 || std::string(tag) != "mlp") {
+    std::fclose(fp);
+    throw std::runtime_error("Mlp::load: bad header in " + path);
+  }
+  std::vector<std::size_t> sizes(nlayers);
+  for (auto& s : sizes)
+    if (std::fscanf(fp, "%zu", &s) != 1) {
+      std::fclose(fp);
+      throw std::runtime_error("Mlp::load: bad sizes in " + path);
+    }
+  Mlp m(sizes);
+  for (double& w : m.w_)
+    if (std::fscanf(fp, "%lg", &w) != 1) {
+      std::fclose(fp);
+      throw std::runtime_error("Mlp::load: truncated weights in " + path);
+    }
+  std::fclose(fp);
+  return m;
+}
+
+} // namespace mlmd::nnq

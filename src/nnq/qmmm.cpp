@@ -1,0 +1,40 @@
+#include "mlmd/nnq/qmmm.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mlmd::nnq {
+
+double embedding_weight(const EmbeddingOptions& opt, const qxmd::Atoms& atoms,
+                        std::size_t i) {
+  const auto d = atoms.box.mic(atoms.pos(i), opt.center.data());
+  const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+  if (r <= opt.r_qm) return 1.0;
+  if (r >= opt.r_qm + opt.r_blend) return 0.0;
+  const double x = (r - opt.r_qm) / opt.r_blend;
+  return 0.5 * (std::cos(std::numbers::pi * x) + 1.0);
+}
+
+double embedded_forces(const AtomModel& nn, const qxmd::Atoms& atoms,
+                       const qxmd::NeighborList& nl, const EmbeddingOptions& opt,
+                       std::vector<double>& forces) {
+  const std::size_t n = atoms.n();
+  std::vector<double> f_nn, f_mm;
+  const double e_nn = nn.energy_forces(atoms, nl, f_nn);
+  const double e_mm = qxmd::lj_energy_forces(atoms, nl, opt.mm, f_mm);
+
+  forces.assign(3 * n, 0.0);
+  double w_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = embedding_weight(opt, atoms, i);
+    w_sum += w;
+    for (int k = 0; k < 3; ++k)
+      forces[3 * i + static_cast<std::size_t>(k)] =
+          w * f_nn[3 * i + static_cast<std::size_t>(k)] +
+          (1.0 - w) * f_mm[3 * i + static_cast<std::size_t>(k)];
+  }
+  const double frac = n > 0 ? w_sum / static_cast<double>(n) : 0.0;
+  return frac * e_nn + (1.0 - frac) * e_mm;
+}
+
+} // namespace mlmd::nnq

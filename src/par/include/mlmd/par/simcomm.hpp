@@ -1,0 +1,212 @@
+#pragma once
+// SimComm: an in-process message-passing substrate standing in for MPI
+// (DESIGN.md Sec. 1). Logical ranks run as real threads; collectives and
+// point-to-point transfers move real bytes through shared memory and are
+// metered, so communication volume and message counts measured here match
+// what an MPI build would put on the wire.
+//
+// The communicator API deliberately mirrors the MPI subset MLMD uses:
+// barrier, broadcast, reduce/allreduce, gather/allgather, alltoall,
+// blocking send/recv, and sendrecv (halo exchange). Rank count is bounded
+// by thread limits (hundreds); the paper-scale sweeps (P up to 120,000)
+// use mlmd::perf's calibrated machine model instead.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mlmd::par {
+
+/// Aggregate traffic counters for one run (summed over all ranks).
+struct TrafficStats {
+  std::uint64_t messages = 0;       ///< point-to-point messages sent
+  std::uint64_t p2p_bytes = 0;      ///< point-to-point payload bytes
+  std::uint64_t collective_ops = 0; ///< collective invocations (per rank)
+  std::uint64_t collective_bytes = 0;
+};
+
+namespace detail {
+
+/// Shared state for one group of ranks. Owns mailboxes, the sense-reversing
+/// barrier, and collective scratch space.
+class GroupState {
+public:
+  explicit GroupState(int nranks);
+
+  int size() const { return nranks_; }
+
+  void barrier();
+  /// Collective byte exchange: every rank contributes `contrib`; rank
+  /// `root` (or all, if `to_all`) receives the concatenation ordered by
+  /// rank. Implements broadcast/gather/allgather/reduce generically.
+  std::vector<std::byte> exchange(int rank, std::span<const std::byte> contrib,
+                                  int root, bool to_all);
+
+  void send(int src, int dst, int tag, std::span<const std::byte> payload);
+  std::vector<std::byte> recv(int dst, int src, int tag);
+
+  TrafficStats stats() const;
+  void reset_stats();
+
+private:
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  const int nranks_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  // Sense-reversing barrier.
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Collective scratch: contributions keyed by rank, plus a generation
+  // counter so back-to-back collectives do not interfere.
+  std::vector<std::vector<std::byte>> contrib_;
+  int contrib_count_ = 0;
+  int consumed_count_ = 0;
+  std::uint64_t collective_generation_ = 0;
+  std::vector<std::byte> assembled_;
+
+  std::map<Key, std::vector<std::vector<std::byte>>> mailboxes_;
+
+  mutable std::mutex stats_mu_;
+  TrafficStats stats_;
+};
+
+} // namespace detail
+
+/// Reduction operators for allreduce/reduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Per-rank communicator handle (the `MPI_Comm` + rank analogue).
+class Comm {
+public:
+  Comm(std::shared_ptr<detail::GroupState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_->size(); }
+
+  void barrier() { state_->barrier(); }
+
+  /// Broadcast `data` from `root` to every rank (in place).
+  template <class T>
+  void broadcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<const std::byte> contrib;
+    if (rank_ == root)
+      contrib = std::as_bytes(std::span<const T>(data));
+    auto all = state_->exchange(rank_, contrib, -1, true);
+    data.resize(all.size() / sizeof(T));
+    std::memcpy(data.data(), all.data(), all.size());
+  }
+
+  /// Gather one value per rank to `root`; non-roots get an empty vector.
+  template <class T>
+  std::vector<T> gather(const T& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = state_->exchange(rank_, std::as_bytes(std::span<const T>(&v, 1)),
+                                  root, false);
+    return unpack<T>(bytes);
+  }
+
+  /// Gather a variable-size block per rank to every rank, rank-ordered.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> block) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = state_->exchange(rank_, std::as_bytes(block), -1, true);
+    return unpack<T>(bytes);
+  }
+
+  template <class T>
+  std::vector<T> allgather(const T& v) {
+    return allgatherv(std::span<const T>(&v, 1));
+  }
+
+  /// Element-wise allreduce over a per-rank vector (all ranks get result).
+  template <class T>
+  std::vector<T> allreduce(std::span<const T> v, ReduceOp op) {
+    static_assert(std::is_arithmetic_v<T>);
+    auto all = allgatherv(v);
+    const std::size_t n = v.size();
+    // Fold rank-ordered blocks starting from rank 0's so every rank
+    // computes the identical result.
+    std::vector<T> out(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n));
+    for (int r = 1; r < size(); ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        T x = all[static_cast<std::size_t>(r) * n + i];
+        switch (op) {
+          case ReduceOp::kSum: out[i] += x; break;
+          case ReduceOp::kMin: out[i] = x < out[i] ? x : out[i]; break;
+          case ReduceOp::kMax: out[i] = x > out[i] ? x : out[i]; break;
+        }
+      }
+    }
+    return out;
+  }
+
+  template <class T>
+  T allreduce(T v, ReduceOp op = ReduceOp::kSum) {
+    return allreduce(std::span<const T>(&v, 1), op)[0];
+  }
+
+  /// Blocking tagged point-to-point send.
+  template <class T>
+  void send(int dst, int tag, std::span<const T> payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    state_->send(rank_, dst, tag, std::as_bytes(payload));
+  }
+
+  /// Blocking tagged receive; blocks until a matching message arrives.
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    auto bytes = state_->recv(rank_, src, tag);
+    return unpack<T>(bytes);
+  }
+
+  /// Paired exchange (halo pattern): send to `dst`, receive from `src`.
+  template <class T>
+  std::vector<T> sendrecv(int dst, std::span<const T> payload, int src, int tag) {
+    send(dst, tag, payload);
+    return recv<T>(src, tag);
+  }
+
+  TrafficStats stats() const { return state_->stats(); }
+  void reset_stats() { state_->reset_stats(); }
+
+private:
+  template <class T>
+  static std::vector<T> unpack(const std::vector<std::byte>& bytes) {
+    if (bytes.size() % sizeof(T) != 0)
+      throw std::runtime_error("SimComm: payload size mismatch");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  std::shared_ptr<detail::GroupState> state_;
+  int rank_;
+};
+
+/// Launch `nranks` logical ranks, each running `body(comm)` on its own
+/// thread, and join them. Exceptions from any rank are rethrown on the
+/// caller. Returns the aggregate traffic stats of the run.
+TrafficStats run(int nranks, const std::function<void(Comm&)>& body);
+
+} // namespace mlmd::par

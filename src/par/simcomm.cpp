@@ -1,0 +1,127 @@
+#include "mlmd/par/simcomm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace mlmd::par {
+namespace detail {
+
+GroupState::GroupState(int nranks) : nranks_(nranks), contrib_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("SimComm: nranks must be > 0");
+}
+
+void GroupState::barrier() {
+  std::unique_lock lk(mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == nranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+std::vector<std::byte> GroupState::exchange(int rank,
+                                            std::span<const std::byte> contrib,
+                                            int root, bool to_all) {
+  std::unique_lock lk(mu_);
+  // Wait until the previous collective has been fully consumed.
+  cv_.wait(lk, [&] { return contrib_[rank].empty() && contrib_count_ < nranks_; });
+
+  contrib_[rank].assign(contrib.begin(), contrib.end());
+  // Deposited-but-empty contributions still count: mark with count only.
+  const std::uint64_t gen = collective_generation_;
+  if (++contrib_count_ == nranks_) {
+    assembled_.clear();
+    for (auto& c : contrib_) {
+      assembled_.insert(assembled_.end(), c.begin(), c.end());
+    }
+    consumed_count_ = 0;
+    ++collective_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return collective_generation_ != gen; });
+  }
+
+  std::vector<std::byte> result;
+  if (to_all || rank == root) result = assembled_;
+
+  {
+    std::lock_guard sg(stats_mu_);
+    stats_.collective_ops += 1;
+    stats_.collective_bytes += contrib.size();
+  }
+
+  if (++consumed_count_ == nranks_) {
+    for (auto& c : contrib_) c.clear();
+    contrib_count_ = 0;
+    cv_.notify_all(); // wake ranks waiting to start the next collective
+  }
+  return result;
+}
+
+void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payload) {
+  if (dst < 0 || dst >= nranks_) throw std::out_of_range("SimComm::send: bad rank");
+  {
+    std::lock_guard lk(mu_);
+    mailboxes_[{src, dst, tag}].emplace_back(payload.begin(), payload.end());
+  }
+  {
+    std::lock_guard sg(stats_mu_);
+    stats_.messages += 1;
+    stats_.p2p_bytes += payload.size();
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
+  std::unique_lock lk(mu_);
+  const Key key{src, dst, tag};
+  cv_.wait(lk, [&] {
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = mailboxes_[key];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.erase(queue.begin());
+  return payload;
+}
+
+TrafficStats GroupState::stats() const {
+  std::lock_guard sg(stats_mu_);
+  return stats_;
+}
+
+void GroupState::reset_stats() {
+  std::lock_guard sg(stats_mu_);
+  stats_ = {};
+}
+
+} // namespace detail
+
+TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
+  auto state = std::make_shared<detail::GroupState>(nranks);
+
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return state->stats();
+}
+
+} // namespace mlmd::par

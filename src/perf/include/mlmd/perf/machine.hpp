@@ -1,0 +1,90 @@
+#pragma once
+// Calibrated analytic machine model (DESIGN.md Sec. 1 substitution for
+// the 10,000-node Aurora runs behind Figs. 4-5 and Tables I-II).
+//
+// Philosophy: *compute* terms are measured, not assumed — benchmarks run
+// the real kernels on this host and fit per-unit-work coefficients; only
+// the *network* is modeled (alpha-beta collective costs on a high-radix
+// Slingshot/Dragonfly-like fabric), because this container has one core
+// and no fabric. The weak/strong scaling curves then follow from the same
+// volume/surface and collective terms that produce them on the real
+// machine.
+
+#include <cstddef>
+#include <vector>
+
+namespace mlmd::perf {
+
+/// Alpha-beta network model with Dragonfly-flavoured defaults.
+struct Network {
+  double latency = 2.0e-6;     ///< per-message alpha [s]
+  double bandwidth = 2.5e10;   ///< per-link beta [B/s]
+
+  /// Recursive-doubling allreduce: ceil(log2 p) rounds.
+  double allreduce(long p, std::size_t bytes) const;
+  /// Ring allgather: p-1 rounds of bytes_per_rank.
+  double allgather(long p, std::size_t bytes_per_rank) const;
+  /// Binomial-tree gather to root.
+  double gather(long p, std::size_t bytes_per_rank) const;
+  /// Nearest-neighbour halo exchange (6 faces, overlapped to 1 round).
+  double halo(std::size_t bytes) const;
+};
+
+/// DC-MESH per-rank compute cost model, fit as
+///   T_dom(n) = a * n + b * n^2   seconds per MD step
+/// (linear stencil/local term + quadratic orbital-space GEMM term) from
+/// measured single-domain runs at several granularities n = electrons/rank.
+struct DcMeshCompute {
+  double a = 0.0;
+  double b = 0.0;
+  double seconds(double electrons_per_rank) const {
+    return a * electrons_per_rank + b * electrons_per_rank * electrons_per_rank;
+  }
+  /// Least-squares fit through measured (n, seconds) points.
+  static DcMeshCompute fit(const std::vector<double>& n,
+                           const std::vector<double>& seconds);
+};
+
+/// XS-NNQMD per-rank compute model: T = t_atom * atoms_per_rank.
+struct NnqmdCompute {
+  double t_atom = 0.0;       ///< seconds per atom per MD step
+  double bytes_per_atom = 64.0; ///< halo payload per surface atom
+};
+
+struct ScalePoint {
+  long p = 0;
+  double seconds = 0.0;     ///< wall-clock per MD step
+  double speed = 0.0;       ///< work units * steps / second
+  double efficiency = 0.0;  ///< weak: isogranular, strong: vs smallest P
+};
+
+/// Weak scaling of DC-MESH at fixed electrons/rank (Fig. 4a).
+std::vector<ScalePoint> dcmesh_weak_scaling(const DcMeshCompute& comp,
+                                            const Network& net,
+                                            const std::vector<long>& ranks,
+                                            long electrons_per_rank);
+
+/// Strong scaling of DC-MESH at fixed total electrons (Fig. 4b).
+std::vector<ScalePoint> dcmesh_strong_scaling(const DcMeshCompute& comp,
+                                              const Network& net,
+                                              const std::vector<long>& ranks,
+                                              long total_electrons);
+
+/// Weak scaling of XS-NNQMD at fixed atoms/rank (Fig. 5a).
+std::vector<ScalePoint> nnqmd_weak_scaling(const NnqmdCompute& comp,
+                                           const Network& net,
+                                           const std::vector<long>& ranks,
+                                           long atoms_per_rank);
+
+/// Strong scaling of XS-NNQMD at fixed total atoms (Fig. 5b).
+std::vector<ScalePoint> nnqmd_strong_scaling(const NnqmdCompute& comp,
+                                             const Network& net,
+                                             const std::vector<long>& ranks,
+                                             long total_atoms);
+
+/// DC FLOP aggregation rule (paper Sec. VII.B): total FLOP/s =
+/// (per-domain FLOPs * ndomains) / wall_seconds.
+double aggregate_flops_per_sec(double flops_per_domain, long ndomains,
+                               double wall_seconds);
+
+} // namespace mlmd::perf

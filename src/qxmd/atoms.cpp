@@ -1,0 +1,36 @@
+#include "mlmd/qxmd/atoms.hpp"
+
+#include <cmath>
+
+#include "mlmd/common/rng.hpp"
+
+namespace mlmd::qxmd {
+
+Atoms make_cubic_lattice(std::size_t na, std::size_t nb, std::size_t nc, double a0,
+                         double mass) {
+  Atoms atoms;
+  atoms.resize(na * nb * nc);
+  atoms.box = {static_cast<double>(na) * a0, static_cast<double>(nb) * a0,
+               static_cast<double>(nc) * a0};
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < na; ++x)
+    for (std::size_t y = 0; y < nb; ++y)
+      for (std::size_t z = 0; z < nc; ++z, ++i) {
+        atoms.pos(i)[0] = (static_cast<double>(x) + 0.5) * a0;
+        atoms.pos(i)[1] = (static_cast<double>(y) + 0.5) * a0;
+        atoms.pos(i)[2] = (static_cast<double>(z) + 0.5) * a0;
+        atoms.mass[i] = mass;
+      }
+  return atoms;
+}
+
+void thermalize(Atoms& atoms, double kT, unsigned long long seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < atoms.n(); ++i) {
+    const double sigma = std::sqrt(kT / atoms.mass[i]);
+    for (int k = 0; k < 3; ++k) atoms.vel(i)[k] = sigma * rng.normal();
+  }
+  atoms.zero_momentum();
+}
+
+} // namespace mlmd::qxmd

@@ -1,0 +1,103 @@
+#pragma once
+// Atomistic state for the QXMD subprogram (paper Fig. 2b): positions,
+// velocities, species, periodic box. Positions are stored flat as
+// 3N-element arrays (the R and Rdot vectors of Eq. 1).
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace mlmd::qxmd {
+
+/// Orthorhombic periodic box.
+struct Box {
+  double lx = 0, ly = 0, lz = 0;
+
+  double volume() const { return lx * ly * lz; }
+
+  /// Minimum-image displacement a - b.
+  std::array<double, 3> mic(const double* a, const double* b) const {
+    auto wrap1 = [](double d, double l) {
+      if (l <= 0) return d;
+      while (d > 0.5 * l) d -= l;
+      while (d < -0.5 * l) d += l;
+      return d;
+    };
+    return {wrap1(a[0] - b[0], lx), wrap1(a[1] - b[1], ly), wrap1(a[2] - b[2], lz)};
+  }
+
+  /// Wrap a position into [0, L).
+  void wrap(double* p) const {
+    auto w1 = [](double x, double l) {
+      if (l <= 0) return x;
+      x -= l * static_cast<long long>(x / l);
+      if (x < 0) x += l;
+      return x;
+    };
+    p[0] = w1(p[0], lx);
+    p[1] = w1(p[1], ly);
+    p[2] = w1(p[2], lz);
+  }
+};
+
+struct Atoms {
+  Box box;
+  std::vector<double> r;    ///< 3N positions [Bohr]
+  std::vector<double> v;    ///< 3N velocities [a.u.]
+  std::vector<double> mass; ///< N masses [m_e]
+  std::vector<int> type;    ///< N species indices
+
+  std::size_t n() const { return mass.size(); }
+
+  void resize(std::size_t natoms) {
+    r.assign(3 * natoms, 0.0);
+    v.assign(3 * natoms, 0.0);
+    mass.assign(natoms, 1.0);
+    type.assign(natoms, 0);
+  }
+
+  double* pos(std::size_t i) { return r.data() + 3 * i; }
+  const double* pos(std::size_t i) const { return r.data() + 3 * i; }
+  double* vel(std::size_t i) { return v.data() + 3 * i; }
+  const double* vel(std::size_t i) const { return v.data() + 3 * i; }
+
+  /// Kinetic energy sum m v^2 / 2.
+  double kinetic_energy() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < n(); ++i) {
+      const double* vi = vel(i);
+      e += 0.5 * mass[i] * (vi[0] * vi[0] + vi[1] * vi[1] + vi[2] * vi[2]);
+    }
+    return e;
+  }
+
+  /// Instantaneous temperature [Ha] per degree of freedom (k_B = 1):
+  /// T = 2 E_kin / (3N).
+  double temperature() const {
+    if (n() == 0) return 0.0;
+    return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(n()));
+  }
+
+  /// Remove centre-of-mass momentum.
+  void zero_momentum() {
+    double p[3] = {0, 0, 0}, mtot = 0;
+    for (std::size_t i = 0; i < n(); ++i) {
+      for (int k = 0; k < 3; ++k) p[k] += mass[i] * vel(i)[k];
+      mtot += mass[i];
+    }
+    if (mtot <= 0) return;
+    for (std::size_t i = 0; i < n(); ++i)
+      for (int k = 0; k < 3; ++k) vel(i)[k] -= p[k] / mtot;
+  }
+};
+
+/// Build a simple-cubic lattice of na x nb x nc atoms with spacing a0.
+Atoms make_cubic_lattice(std::size_t na, std::size_t nb, std::size_t nc, double a0,
+                         double mass);
+
+/// Assign Maxwell-Boltzmann velocities at temperature kT [Ha] using the
+/// given seed; removes centre-of-mass drift.
+void thermalize(Atoms& atoms, double kT, unsigned long long seed);
+
+} // namespace mlmd::qxmd

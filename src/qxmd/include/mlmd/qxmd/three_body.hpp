@@ -1,0 +1,31 @@
+#pragma once
+// Stillinger-Weber/Keating-style three-body angular potential:
+//
+//   E3 = k3 * sum_i sum_{j<k in N(i)} (cos th_jik - cos0)^2 fc(r_ij) fc(r_ik)
+//
+// with the smooth cosine cutoff fc. Penalizing deviations from a
+// preferred bond angle is what makes open (tetrahedral, perovskite-cage)
+// structures mechanically stable — and what a pair potential cannot
+// represent. Serves as the 3-body ground truth for the radial-vs-angular
+// NN model ablation and composes with the LJ pair term for MD.
+
+#include <vector>
+
+#include "mlmd/qxmd/atoms.hpp"
+#include "mlmd/qxmd/neighbor.hpp"
+
+namespace mlmd::qxmd {
+
+struct ThreeBodyParams {
+  double k3 = 0.01;       ///< angular stiffness [Ha]
+  double cos0 = -1.0 / 3.0; ///< preferred cos(theta): tetrahedral default
+  double rc = 6.0;        ///< cutoff [Bohr]
+};
+
+/// Three-body energy; forces are ACCUMULATED into `forces` (3N, must be
+/// pre-sized; pass a zeroed vector for the pure three-body force).
+double three_body_energy_forces(const Atoms& atoms, const NeighborList& nl,
+                                const ThreeBodyParams& p,
+                                std::vector<double>& forces);
+
+} // namespace mlmd::qxmd

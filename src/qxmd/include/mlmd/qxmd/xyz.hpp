@@ -1,0 +1,22 @@
+#pragma once
+// XYZ trajectory I/O: the lingua-franca interchange format for atomistic
+// snapshots (visualization, external analysis). Extended-XYZ-lite: the
+// comment line carries the box lengths.
+
+#include <string>
+#include <vector>
+
+#include "mlmd/qxmd/atoms.hpp"
+
+namespace mlmd::qxmd {
+
+/// Append one frame to `path` (creates the file on first call). Species
+/// are written as `T<index>` from atoms.type.
+void append_xyz(const Atoms& atoms, const std::string& path,
+                const std::string& comment = "");
+
+/// Read all frames from an XYZ trajectory. Boxes are restored from the
+/// comment line when present (format "box LX LY LZ ...").
+std::vector<Atoms> read_xyz(const std::string& path);
+
+} // namespace mlmd::qxmd

@@ -1,0 +1,82 @@
+#include "mlmd/qxmd/neighbor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlmd::qxmd {
+
+NeighborList::NeighborList(const Atoms& atoms, double rc) : rc_(rc) {
+  if (rc <= 0) throw std::invalid_argument("NeighborList: cutoff must be > 0");
+  const std::size_t n = atoms.n();
+  lists_.assign(n, {});
+  const Box& box = atoms.box;
+
+  // Cell grid; at least 1 cell per axis, cells no smaller than rc. If the
+  // box is smaller than 3 cells per axis, fall back to O(N^2) with MIC
+  // (correct for small systems where linked cells would double-count).
+  const int ncx = std::max(1, static_cast<int>(box.lx / rc));
+  const int ncy = std::max(1, static_cast<int>(box.ly / rc));
+  const int ncz = std::max(1, static_cast<int>(box.lz / rc));
+  const double rc2 = rc * rc;
+
+  if (ncx < 3 || ncy < 3 || ncz < 3) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto d = box.mic(atoms.pos(i), atoms.pos(j));
+        if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
+          lists_[i].push_back(static_cast<std::uint32_t>(j));
+      }
+    return;
+  }
+
+  auto cell_of = [&](const double* p) {
+    int cx = static_cast<int>(p[0] / box.lx * ncx) % ncx;
+    int cy = static_cast<int>(p[1] / box.ly * ncy) % ncy;
+    int cz = static_cast<int>(p[2] / box.lz * ncz) % ncz;
+    if (cx < 0) cx += ncx;
+    if (cy < 0) cy += ncy;
+    if (cz < 0) cz += ncz;
+    return (cx * ncy + cy) * ncz + cz;
+  };
+
+  std::vector<std::vector<std::uint32_t>> cells(
+      static_cast<std::size_t>(ncx) * ncy * ncz);
+  for (std::size_t i = 0; i < n; ++i)
+    cells[static_cast<std::size_t>(cell_of(atoms.pos(i)))].push_back(
+        static_cast<std::uint32_t>(i));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* pi = atoms.pos(i);
+    int cx = static_cast<int>(pi[0] / box.lx * ncx) % ncx;
+    int cy = static_cast<int>(pi[1] / box.ly * ncy) % ncy;
+    int cz = static_cast<int>(pi[2] / box.lz * ncz) % ncz;
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int nx = ((cx + dx) % ncx + ncx) % ncx;
+          const int ny = ((cy + dy) % ncy + ncy) % ncy;
+          const int nz = ((cz + dz) % ncz + ncz) % ncz;
+          for (std::uint32_t j : cells[static_cast<std::size_t>((nx * ncy + ny) * ncz + nz)]) {
+            if (j == i) continue;
+            const auto d = box.mic(pi, atoms.pos(j));
+            if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
+              lists_[i].push_back(j);
+          }
+        }
+  }
+}
+
+std::size_t NeighborList::pair_count() const {
+  std::size_t c = 0;
+  for (const auto& l : lists_) c += l.size();
+  return c;
+}
+
+std::size_t NeighborList::memory_bytes() const {
+  std::size_t b = lists_.size() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& l : lists_) b += l.capacity() * sizeof(std::uint32_t);
+  return b;
+}
+
+} // namespace mlmd::qxmd

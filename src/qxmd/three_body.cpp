@@ -1,0 +1,75 @@
+#include "mlmd/qxmd/three_body.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mlmd/common/flops.hpp"
+
+namespace mlmd::qxmd {
+namespace {
+
+double fcut(double r, double rc) {
+  if (r >= rc) return 0.0;
+  return 0.5 * (std::cos(std::numbers::pi * r / rc) + 1.0);
+}
+
+double dfcut(double r, double rc) {
+  if (r >= rc) return 0.0;
+  return -0.5 * std::numbers::pi / rc * std::sin(std::numbers::pi * r / rc);
+}
+
+} // namespace
+
+double three_body_energy_forces(const Atoms& atoms, const NeighborList& nl,
+                                const ThreeBodyParams& p,
+                                std::vector<double>& forces) {
+  const std::size_t n = atoms.n();
+  if (forces.size() != 3 * n)
+    throw std::invalid_argument("three_body_energy_forces: forces size");
+
+  double energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = nl.neighbors(i);
+    flops::add(60ull * nbrs.size() * nbrs.size() / 2);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        const std::size_t j = nbrs[a], k = nbrs[b];
+        const auto dj3 = atoms.box.mic(atoms.pos(i), atoms.pos(j));
+        const auto dk3 = atoms.box.mic(atoms.pos(i), atoms.pos(k));
+        const double r1 =
+            std::sqrt(dj3[0] * dj3[0] + dj3[1] * dj3[1] + dj3[2] * dj3[2]);
+        const double r2 =
+            std::sqrt(dk3[0] * dk3[0] + dk3[1] * dk3[1] + dk3[2] * dk3[2]);
+        if (r1 <= 1e-12 || r2 <= 1e-12 || r1 >= p.rc || r2 >= p.rc) continue;
+        const double cosv =
+            (dj3[0] * dk3[0] + dj3[1] * dk3[1] + dj3[2] * dk3[2]) / (r1 * r2);
+        const double fc1 = fcut(r1, p.rc), fc2 = fcut(r2, p.rc);
+        const double dc = cosv - p.cos0;
+        energy += p.k3 * dc * dc * fc1 * fc2;
+
+        // Gradient terms: dE/d(dj), dE/d(dk) with dj = r_i - r_j.
+        const double pref_cos = 2.0 * p.k3 * dc * fc1 * fc2;
+        const double pref_r1 =
+            p.k3 * dc * dc * dfcut(r1, p.rc) * fc2 / r1;
+        const double pref_r2 =
+            p.k3 * dc * dc * dfcut(r2, p.rc) * fc1 / r2;
+        for (int c = 0; c < 3; ++c) {
+          const double dj = dj3[static_cast<std::size_t>(c)];
+          const double dk = dk3[static_cast<std::size_t>(c)];
+          const double dcos_dj = dk / (r1 * r2) - cosv * dj / (r1 * r1);
+          const double dcos_dk = dj / (r1 * r2) - cosv * dk / (r2 * r2);
+          const double gj = pref_cos * dcos_dj + pref_r1 * dj;
+          const double gk = pref_cos * dcos_dk + pref_r2 * dk;
+          // F = -dE/dr: i moves by -(gj + gk), j by +gj, k by +gk.
+          forces[3 * i + static_cast<std::size_t>(c)] -= gj + gk;
+          forces[3 * j + static_cast<std::size_t>(c)] += gj;
+          forces[3 * k + static_cast<std::size_t>(c)] += gk;
+        }
+      }
+    }
+  }
+  return energy;
+}
+
+} // namespace mlmd::qxmd

@@ -1,0 +1,69 @@
+#include "mlmd/qxmd/xyz.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace mlmd::qxmd {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void append_xyz(const Atoms& atoms, const std::string& path,
+                const std::string& comment) {
+  File fp(std::fopen(path.c_str(), "a"));
+  if (!fp) throw std::runtime_error("append_xyz: cannot open " + path);
+  std::fprintf(fp.get(), "%zu\n", atoms.n());
+  std::fprintf(fp.get(), "box %.10g %.10g %.10g %s\n", atoms.box.lx, atoms.box.ly,
+               atoms.box.lz, comment.c_str());
+  for (std::size_t i = 0; i < atoms.n(); ++i)
+    std::fprintf(fp.get(), "T%d %.10g %.10g %.10g\n", atoms.type[i],
+                 atoms.pos(i)[0], atoms.pos(i)[1], atoms.pos(i)[2]);
+}
+
+std::vector<Atoms> read_xyz(const std::string& path) {
+  File fp(std::fopen(path.c_str(), "r"));
+  if (!fp) throw std::runtime_error("read_xyz: cannot open " + path);
+
+  std::vector<Atoms> frames;
+  char line[512];
+  while (std::fgets(line, sizeof line, fp.get())) {
+    std::size_t natoms = 0;
+    if (std::sscanf(line, "%zu", &natoms) != 1)
+      throw std::runtime_error("read_xyz: bad atom count in " + path);
+    if (!std::fgets(line, sizeof line, fp.get()))
+      throw std::runtime_error("read_xyz: missing comment line in " + path);
+
+    Atoms atoms;
+    atoms.resize(natoms);
+    double lx = 0, ly = 0, lz = 0;
+    if (std::sscanf(line, "box %lg %lg %lg", &lx, &ly, &lz) == 3)
+      atoms.box = {lx, ly, lz};
+
+    for (std::size_t i = 0; i < natoms; ++i) {
+      if (!std::fgets(line, sizeof line, fp.get()))
+        throw std::runtime_error("read_xyz: truncated frame in " + path);
+      char species[64];
+      double x, y, z;
+      if (std::sscanf(line, "%63s %lg %lg %lg", species, &x, &y, &z) != 4)
+        throw std::runtime_error("read_xyz: bad atom line in " + path);
+      atoms.pos(i)[0] = x;
+      atoms.pos(i)[1] = y;
+      atoms.pos(i)[2] = z;
+      if (species[0] == 'T') atoms.type[i] = std::atoi(species + 1);
+    }
+    frames.push_back(std::move(atoms));
+  }
+  return frames;
+}
+
+} // namespace mlmd::qxmd

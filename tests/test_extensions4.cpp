@@ -1,0 +1,182 @@
+// Tests for the fourth extension batch: the three-body reference
+// potential, Fermi-smeared LfdDomain initialization, and fourth-order
+// domain propagation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "mlmd/common/rng.hpp"
+#include "mlmd/lfd/domain.hpp"
+#include "mlmd/qxmd/pair_potential.hpp"
+#include "mlmd/qxmd/three_body.hpp"
+
+namespace {
+
+using namespace mlmd;
+
+qxmd::Atoms jittered(std::size_t n, double a0, unsigned long long seed) {
+  auto atoms = qxmd::make_cubic_lattice(n, n, n, a0, 100.0);
+  mlmd::Rng rng(seed);
+  for (auto& x : atoms.r) x += 0.25 * rng.normal();
+  for (std::size_t i = 0; i < atoms.n(); ++i) atoms.box.wrap(atoms.pos(i));
+  return atoms;
+}
+
+TEST(ThreeBody, EnergyZeroAtPreferredAngle) {
+  // Linear chain i-j-k with j central: for the pair (i,k) around j the
+  // angle is 180 deg, cos = -1. With cos0 = -1 the energy vanishes.
+  qxmd::Atoms atoms;
+  atoms.resize(3);
+  atoms.box = {30, 30, 30};
+  for (int a = 0; a < 3; ++a) {
+    atoms.pos(static_cast<std::size_t>(a))[0] = 10.0 + 3.0 * a;
+    atoms.pos(static_cast<std::size_t>(a))[1] = 15.0;
+    atoms.pos(static_cast<std::size_t>(a))[2] = 15.0;
+  }
+  qxmd::ThreeBodyParams p;
+  p.cos0 = -1.0;
+  p.rc = 4.0; // only nearest bonds: central atom sees the one 180-deg pair
+  qxmd::NeighborList nl(atoms, p.rc);
+  std::vector<double> f(9, 0.0);
+  EXPECT_NEAR(qxmd::three_body_energy_forces(atoms, nl, p, f), 0.0, 1e-12);
+}
+
+TEST(ThreeBody, EnergyPositiveOffAngle) {
+  qxmd::Atoms atoms;
+  atoms.resize(3);
+  atoms.box = {30, 30, 30};
+  atoms.pos(0)[0] = 15.0;
+  atoms.pos(0)[1] = 15.0;
+  atoms.pos(1)[0] = 18.0;
+  atoms.pos(1)[1] = 15.0;
+  atoms.pos(2)[0] = 15.0;
+  atoms.pos(2)[1] = 18.0; // 90-degree angle at atom 0
+  for (int a = 0; a < 3; ++a) atoms.pos(static_cast<std::size_t>(a))[2] = 15.0;
+  qxmd::ThreeBodyParams p;
+  p.rc = 4.0;
+  qxmd::NeighborList nl(atoms, p.rc);
+  std::vector<double> f(9, 0.0);
+  EXPECT_GT(qxmd::three_body_energy_forces(atoms, nl, p, f), 0.0);
+}
+
+TEST(ThreeBody, ForcesMatchNumericalGradient) {
+  auto atoms = jittered(2, 4.2, 4);
+  qxmd::ThreeBodyParams p;
+  p.rc = 5.0;
+  p.k3 = 0.05;
+  qxmd::NeighborList nl(atoms, p.rc);
+  std::vector<double> f(3 * atoms.n(), 0.0);
+  qxmd::three_body_energy_forces(atoms, nl, p, f);
+
+  const double eps = 1e-6;
+  for (std::size_t i : {0ul, 3ul, 6ul}) {
+    for (int k = 0; k < 3; ++k) {
+      qxmd::Atoms moved = atoms;
+      moved.pos(i)[k] += eps;
+      qxmd::NeighborList nlp(moved, p.rc);
+      std::vector<double> tmp(3 * atoms.n(), 0.0);
+      const double ep = qxmd::three_body_energy_forces(moved, nlp, p, tmp);
+      moved.pos(i)[k] -= 2 * eps;
+      qxmd::NeighborList nlm(moved, p.rc);
+      tmp.assign(3 * atoms.n(), 0.0);
+      const double em = qxmd::three_body_energy_forces(moved, nlm, p, tmp);
+      EXPECT_NEAR(f[3 * i + static_cast<std::size_t>(k)], -(ep - em) / (2 * eps),
+                  1e-5) << i << "," << k;
+    }
+  }
+}
+
+TEST(ThreeBody, NewtonsThirdLaw) {
+  auto atoms = jittered(3, 4.0, 5);
+  qxmd::ThreeBodyParams p;
+  p.rc = 5.0;
+  qxmd::NeighborList nl(atoms, p.rc);
+  std::vector<double> f(3 * atoms.n(), 0.0);
+  qxmd::three_body_energy_forces(atoms, nl, p, f);
+  double total[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < atoms.n(); ++i)
+    for (int k = 0; k < 3; ++k) total[k] += f[3 * i + static_cast<std::size_t>(k)];
+  for (double t : total) EXPECT_NEAR(t, 0.0, 1e-10);
+}
+
+TEST(ThreeBody, WrongForceSizeThrows) {
+  auto atoms = jittered(2, 4.0, 6);
+  qxmd::NeighborList nl(atoms, 5.0);
+  std::vector<double> f(5, 0.0);
+  EXPECT_THROW(qxmd::three_body_energy_forces(atoms, nl, {}, f),
+               std::invalid_argument);
+}
+
+// --- LfdDomain extensions -------------------------------------------------------
+
+grid::Grid3 small_grid() { return {8, 8, 8, 0.6, 0.6, 0.6}; }
+
+std::vector<lfd::Ion> center_ion(const grid::Grid3& g) {
+  return {{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.5, 1.5, 2.0}};
+}
+
+TEST(LfdDomainFermi, SmearedOccupationsSumToElectronCount) {
+  lfd::LfdOptions opt;
+  opt.electronic_kt = 0.05;
+  lfd::LfdDomain<double> dom(small_grid(), 6, opt);
+  dom.initialize(center_ion(small_grid()), 3);
+  const auto& f = dom.occupations();
+  const double total = std::accumulate(f.begin(), f.end(), 0.0);
+  EXPECT_NEAR(total, 6.0, 1e-8);
+  // Smearing spreads weight beyond the lowest 3 orbitals.
+  EXPECT_GT(f[3], 0.0);
+  EXPECT_LT(f[0], 2.0);
+  // n_exc reference is the smeared distribution: starts at zero.
+  EXPECT_NEAR(dom.n_exc(), 0.0, 1e-8);
+}
+
+TEST(LfdDomainFermi, ColdLimitGivesIntegerFilling) {
+  // At kT -> 0 the Fermi fill puts 2 electrons in each of the two
+  // lowest-ENERGY orbitals (which need not be the lowest-index ones —
+  // the relaxed set is not index-sorted by energy).
+  lfd::LfdOptions opt;
+  opt.electronic_kt = 1e-6;
+  lfd::LfdDomain<double> dom(small_grid(), 4, opt);
+  dom.initialize(center_ion(small_grid()), 2);
+  const auto& f = dom.occupations();
+  int full = 0, empty = 0;
+  for (double fs : f) {
+    if (std::abs(fs - 2.0) < 1e-3) ++full;
+    if (std::abs(fs) < 1e-3) ++empty;
+  }
+  EXPECT_EQ(full, 2);
+  EXPECT_EQ(empty, 2);
+}
+
+TEST(LfdDomainProp, FourthOrderStepUnitaryAndMoreAccurate) {
+  auto make = [&](lfd::PropOrder order, double dt) {
+    lfd::LfdOptions opt;
+    opt.prop_order = order;
+    opt.dt_qd = dt;
+    opt.self_consistent = false;
+    opt.nlp_every = 0;
+    lfd::LfdDomain<double> dom(small_grid(), 3, opt);
+    dom.initialize(center_ion(small_grid()), 1);
+    return dom;
+  };
+  // Reference: tiny steps.
+  auto ref = make(lfd::PropOrder::kSecond, 0.4 / 256);
+  const double a[3] = {0, 0, 0};
+  ref.run_qd(256, a);
+
+  auto s2 = make(lfd::PropOrder::kSecond, 0.4 / 8);
+  s2.run_qd(8, a);
+  auto s4 = make(lfd::PropOrder::kFourth, 0.4 / 8);
+  s4.run_qd(8, a);
+
+  const double e2 = la::max_abs_diff(s2.wave().psi, ref.wave().psi);
+  const double e4 = la::max_abs_diff(s4.wave().psi, ref.wave().psi);
+  EXPECT_LT(e4, 0.2 * e2);
+
+  auto norms = s4.wave().norms2();
+  for (double n : norms) EXPECT_NEAR(n, 1.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+// Tests for the fifth extension batch: subspace diagonalization, Fermi
+// smearing in the SCF, and the DC-MESH observables recorder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "mlmd/lfd/domain.hpp"
+#include "mlmd/lfd/hamiltonian.hpp"
+#include "mlmd/mesh/recorder.hpp"
+#include "mlmd/scf/dc_scf.hpp"
+
+namespace {
+
+using namespace mlmd;
+
+grid::Grid3 small_grid() { return {8, 8, 8, 0.6, 0.6, 0.6}; }
+
+std::vector<lfd::Ion> center_ion(const grid::Grid3& g) {
+  return {{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.5, 1.5, 2.0}};
+}
+
+TEST(SubspaceDiag, HamiltonianDiagonalAfterRotation) {
+  lfd::LfdOptions opt;
+  lfd::LfdDomain<double> dom(small_grid(), 4, opt);
+  dom.initialize(center_ion(small_grid()), 2);
+  const double a[3] = {0, 0, 0};
+  auto bands = dom.diagonalize_subspace(a);
+  ASSERT_EQ(bands.size(), 4u);
+  for (std::size_t s = 1; s < 4; ++s) EXPECT_LE(bands[s - 1], bands[s] + 1e-10);
+
+  auto h = lfd::orbital_hamiltonian(dom.wave(), dom.vloc(), a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(h(i, i).real(), bands[i], 1e-7);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(std::abs(h(i, j)), 0.0, 1e-7) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SubspaceDiag, ConservesTotalOccupationAndNorms) {
+  lfd::LfdOptions opt;
+  lfd::LfdDomain<double> dom(small_grid(), 4, opt);
+  dom.initialize(center_ion(small_grid()), 2);
+  const double total0 =
+      std::accumulate(dom.occupations().begin(), dom.occupations().end(), 0.0);
+  const double a[3] = {0, 0, 0};
+  dom.diagonalize_subspace(a);
+  EXPECT_NEAR(std::accumulate(dom.occupations().begin(), dom.occupations().end(),
+                              0.0),
+              total0, 1e-9);
+  for (double n : dom.wave().norms2()) EXPECT_NEAR(n, 1.0, 1e-8);
+}
+
+TEST(ScfSmearing, ConvergesAndReportsFreeEnergy) {
+  grid::Grid3 g{12, 12, 12, 0.8, 0.8, 0.8};
+  grid::DcDecomposition dec(g, 1, 1, 1, 0);
+  std::vector<lfd::Ion> ions = {
+      {0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.5, 1.5, 2.0}};
+  scf::ScfOptions opt;
+  opt.norb = 4;
+  opt.nfilled = 2;
+  opt.max_outer = 60;
+  opt.tol = 2e-3;
+  opt.anderson = true;
+
+  scf::DcScf cold(dec, ions, opt);
+  auto r_cold = cold.run();
+  ASSERT_TRUE(r_cold.converged);
+
+  opt.electronic_kt = 0.02;
+  scf::DcScf warm(dec, ions, opt);
+  auto r_warm = warm.run();
+  EXPECT_TRUE(r_warm.converged);
+  // The Mermin free energy includes -TS < 0 and smeared band occupation:
+  // it must not exceed the cold band sum by more than the smearing scale.
+  EXPECT_LT(r_warm.total_energy, r_cold.total_energy + 0.5);
+}
+
+TEST(Recorder, CapturesAndRoundTripsCsv) {
+  grid::Grid3 g{8, 8, 8, 0.7, 0.7, 0.7};
+  std::vector<lfd::Ion> ions = {
+      {0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 1.6, 2.0}};
+  mesh::MeshOptions opt;
+  opt.nqd_per_md = 6;
+  opt.lfd.dt_qd = 0.06;
+  mesh::DcMeshDomain dom(g, 4, 2, ions, opt);
+
+  mesh::Recorder rec;
+  maxwell::Pulse pulse;
+  pulse.e0 = 0.08;
+  pulse.t0 = dom.md_dt();
+  for (int s = 0; s < 3; ++s) {
+    auto stats = dom.md_step(&pulse);
+    rec.record(dom, stats, pulse.apot(dom.time()));
+  }
+  ASSERT_EQ(rec.size(), 3u);
+  EXPECT_GT(rec.rows()[2].t, rec.rows()[0].t);
+  EXPECT_EQ(rec.n_exc_series().size(), 3u);
+
+  const std::string path = ::testing::TempDir() + "mesh_obs.csv";
+  rec.write_csv(path);
+  auto rows = mesh::Recorder::read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rows[i].t, rec.rows()[i].t, 1e-9);
+    EXPECT_NEAR(rows[i].n_exc, rec.rows()[i].n_exc, 1e-9);
+    EXPECT_EQ(rows[i].shadow_bytes, rec.rows()[i].shadow_bytes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, ReadMissingThrows) {
+  EXPECT_THROW(mesh::Recorder::read_csv("/nonexistent/obs.csv"),
+               std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+// Tests for the from-scratch FFT and the spectral Poisson solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "mlmd/common/rng.hpp"
+#include "mlmd/fft/fft.hpp"
+
+namespace {
+
+using namespace mlmd::fft;
+using cd = std::complex<double>;
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  mlmd::Rng rng(n);
+  std::vector<cd> x(n), orig;
+  for (auto& v : x) v = cd(rng.normal(), rng.normal());
+  orig = x;
+  fft1d(x.data(), n, false);
+  fft1d(x.data(), n, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024, 4096));
+
+TEST(Fft, NonPow2Throws) {
+  std::vector<cd> x(6);
+  EXPECT_THROW(fft1d(x.data(), 6, false), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cd> x(8, 0.0);
+  x[0] = 1.0;
+  fft1d(x.data(), 8, false);
+  for (auto v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleModeLandsOnCorrectBin) {
+  const std::size_t n = 32;
+  std::vector<cd> x(n);
+  const int k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * k * static_cast<double>(i) / n;
+    x[i] = cd(std::cos(phase), std::sin(phase));
+  }
+  fft1d(x.data(), n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expect = i == static_cast<std::size_t>(k) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[i]), expect, 1e-9) << "bin " << i;
+  }
+}
+
+TEST(Fft, Parseval) {
+  const std::size_t n = 128;
+  mlmd::Rng rng(3);
+  std::vector<cd> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = cd(rng.normal(), rng.normal());
+    time_energy += std::norm(v);
+  }
+  fft1d(x.data(), n, false);
+  double freq_energy = 0.0;
+  for (auto v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-6 * time_energy * n);
+}
+
+TEST(Fft, Linearity) {
+  const std::size_t n = 64;
+  mlmd::Rng rng(4);
+  std::vector<cd> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = cd(rng.normal(), rng.normal());
+    b[i] = cd(rng.normal(), rng.normal());
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fft1d(a.data(), n, false);
+  fft1d(b.data(), n, false);
+  fft1d(sum.data(), n, false);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 0.0, 1e-9);
+}
+
+TEST(Fft, StridedMatchesContiguous) {
+  const std::size_t n = 16, stride = 3;
+  mlmd::Rng rng(5);
+  std::vector<cd> packed(n), sparse(n * stride, cd(99.0, 99.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    packed[i] = cd(rng.normal(), rng.normal());
+    sparse[i * stride] = packed[i];
+  }
+  fft1d(packed.data(), n, false);
+  fft1d_strided(sparse.data(), n, stride, false);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sparse[i * stride] - packed[i]), 0.0, 1e-10);
+  // Untouched gaps.
+  EXPECT_EQ(sparse[1], cd(99.0, 99.0));
+}
+
+TEST(Fft3d, RoundTrip) {
+  const std::size_t nx = 8, ny = 4, nz = 16;
+  mlmd::Rng rng(6);
+  std::vector<cd> x(nx * ny * nz), orig;
+  for (auto& v : x) v = cd(rng.normal(), rng.normal());
+  orig = x;
+  fft3d(x.data(), nx, ny, nz, false);
+  fft3d(x.data(), nx, ny, nz, true);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-9);
+}
+
+TEST(Poisson, SingleSineModeAnalytic) {
+  // rho = cos(2 pi x / L): phi = 4 pi rho / k^2 with k = 2 pi / L.
+  const std::size_t n = 32;
+  const double L = 10.0;
+  std::vector<double> rho(n * n * n), phi;
+  for (std::size_t x = 0; x < n; ++x) {
+    const double c = std::cos(2.0 * std::numbers::pi * static_cast<double>(x) / n);
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t z = 0; z < n; ++z) rho[(x * n + y) * n + z] = c;
+  }
+  poisson_periodic(rho, phi, n, n, n, L, L, L);
+  const double k = 2.0 * std::numbers::pi / L;
+  const double expect_amp = 4.0 * std::numbers::pi / (k * k);
+  for (std::size_t x = 0; x < n; ++x) {
+    const double c = std::cos(2.0 * std::numbers::pi * static_cast<double>(x) / n);
+    EXPECT_NEAR(phi[(x * n) * n], expect_amp * c, 1e-9 * expect_amp) << x;
+  }
+}
+
+TEST(Poisson, ZeroMeanOutput) {
+  const std::size_t n = 16;
+  mlmd::Rng rng(7);
+  std::vector<double> rho(n * n * n), phi;
+  for (auto& v : rho) v = rng.uniform(); // non-neutral charge
+  poisson_periodic(rho, phi, n, n, n, 5.0, 5.0, 5.0);
+  double mean = 0;
+  for (double v : phi) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(phi.size()), 0.0, 1e-10);
+}
+
+TEST(Poisson, SizeMismatchThrows) {
+  std::vector<double> rho(10), phi;
+  EXPECT_THROW(poisson_periodic(rho, phi, 4, 4, 4, 1, 1, 1), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+// Tests for Grid3 and the DC core+buffer domain decomposition.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "mlmd/common/rng.hpp"
+#include "mlmd/grid/decomposition.hpp"
+
+namespace {
+
+using namespace mlmd::grid;
+
+TEST(Grid3, BasicGeometry) {
+  Grid3 g{8, 4, 2, 0.5, 1.0, 2.0};
+  EXPECT_EQ(g.size(), 64u);
+  EXPECT_DOUBLE_EQ(g.lx(), 4.0);
+  EXPECT_DOUBLE_EQ(g.ly(), 4.0);
+  EXPECT_DOUBLE_EQ(g.lz(), 4.0);
+  EXPECT_DOUBLE_EQ(g.dv(), 1.0);
+  EXPECT_DOUBLE_EQ(g.volume(), 64.0);
+  EXPECT_EQ(g.index(1, 2, 1), (1u * 4u + 2u) * 2u + 1u);
+}
+
+TEST(Grid3, WrapHandlesNegatives) {
+  EXPECT_EQ(Grid3::wrap(-1, 8), 7u);
+  EXPECT_EQ(Grid3::wrap(8, 8), 0u);
+  EXPECT_EQ(Grid3::wrap(-9, 8), 7u);
+  EXPECT_EQ(Grid3::wrap(3, 8), 3u);
+}
+
+class DecompSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, std::size_t>> {};
+
+TEST_P(DecompSweep, DomainsPartitionAndOverlap) {
+  const auto [dx, dy, dz, buffer] = GetParam();
+  Grid3 g{24, 24, 24, 0.5, 0.5, 0.5};
+  DcDecomposition dec(g, dx, dy, dz, buffer);
+  EXPECT_EQ(dec.ndomains(), dx * dy * dz);
+
+  // Core regions partition the global grid exactly once: scattering a
+  // constant-1 local field from every domain gives exactly 1 everywhere.
+  std::vector<double> global(g.size(), 0.0);
+  for (int a = 0; a < dec.ndomains(); ++a) {
+    std::vector<double> local(dec.domain(a).local.size(), 1.0);
+    dec.scatter_core(a, local, global);
+  }
+  for (double v : global) EXPECT_DOUBLE_EQ(v, 1.0);
+
+  // Overlap factor matches (1 + 2 b / c)^3 for cubic cores.
+  const double cx = 24.0 / dx, cy = 24.0 / dy, cz = 24.0 / dz;
+  const double expect = (1.0 + 2.0 * static_cast<double>(buffer) / cx) *
+                        (1.0 + 2.0 * static_cast<double>(buffer) / cy) *
+                        (1.0 + 2.0 * static_cast<double>(buffer) / cz);
+  EXPECT_NEAR(dec.overlap_factor(), expect, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1, std::size_t{0}),
+                      std::make_tuple(2, 2, 2, std::size_t{0}),
+                      std::make_tuple(2, 2, 2, std::size_t{3}),
+                      std::make_tuple(3, 2, 4, std::size_t{2}),
+                      std::make_tuple(4, 4, 4, std::size_t{3}),
+                      std::make_tuple(2, 2, 2, std::size_t{6})));
+
+TEST(Decomp, PaperOverlapFactor) {
+  // Paper Sec. VII.A.1: buffer = half the core length per direction gives
+  // overlap factor (1 + 2 * 1/2)^3 = 8.
+  Grid3 g{24, 24, 24, 0.5, 0.5, 0.5};
+  DcDecomposition dec(g, 2, 2, 2, 6); // core 12, buffer 6 = core/2
+  EXPECT_NEAR(dec.overlap_factor(), 8.0, 1e-12);
+}
+
+TEST(Decomp, GatherReadsPeriodicImage) {
+  Grid3 g{8, 8, 8, 1, 1, 1};
+  std::vector<double> field(g.size());
+  std::iota(field.begin(), field.end(), 0.0);
+  DcDecomposition dec(g, 2, 2, 2, 2);
+
+  const auto& d0 = dec.domain(0); // core at origin, buffer wraps around
+  auto local = dec.gather(0, field);
+  ASSERT_EQ(local.size(), d0.local.size());
+  // Local (0,0,0) is global core0 - buffer = (-2,-2,-2) -> wraps to (6,6,6).
+  EXPECT_DOUBLE_EQ(local[d0.local.index(0, 0, 0)],
+                   field[g.index(6, 6, 6)]);
+  // Local buffer-offset point equals global core origin.
+  EXPECT_DOUBLE_EQ(local[d0.local.index(2, 2, 2)], field[g.index(0, 0, 0)]);
+}
+
+TEST(Decomp, GatherScatterRoundTripOnCores) {
+  Grid3 g{12, 12, 12, 1, 1, 1};
+  DcDecomposition dec(g, 3, 3, 3, 1);
+  mlmd::Rng rng(5);
+  std::vector<double> field(g.size());
+  for (auto& v : field) v = rng.normal();
+
+  std::vector<double> rebuilt(g.size(), 0.0);
+  for (int a = 0; a < dec.ndomains(); ++a) {
+    auto local = dec.gather(a, field);
+    dec.scatter_core(a, local, rebuilt);
+  }
+  for (std::size_t i = 0; i < field.size(); ++i)
+    EXPECT_DOUBLE_EQ(rebuilt[i], field[i]);
+}
+
+TEST(Decomp, InCoreClassification) {
+  Grid3 g{8, 8, 8, 1, 1, 1};
+  DcDecomposition dec(g, 2, 2, 2, 1);
+  const auto& d = dec.domain(0);
+  EXPECT_FALSE(d.in_core(0, 0, 0));           // buffer corner
+  EXPECT_TRUE(d.in_core(1, 1, 1));            // first core point
+  EXPECT_TRUE(d.in_core(4, 4, 4));            // last core point
+  EXPECT_FALSE(d.in_core(5, 5, 5));           // opposite buffer
+}
+
+TEST(Decomp, InvalidArgumentsThrow) {
+  Grid3 g{8, 8, 8, 1, 1, 1};
+  EXPECT_THROW(DcDecomposition(g, 0, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(DcDecomposition(g, 3, 1, 1, 0), std::invalid_argument); // 8 % 3
+  EXPECT_THROW(DcDecomposition(g, 2, 2, 2, 5), std::invalid_argument); // buf > core
+}
+
+TEST(Decomp, GatherWrongSizeThrows) {
+  Grid3 g{8, 8, 8, 1, 1, 1};
+  DcDecomposition dec(g, 2, 2, 2, 1);
+  std::vector<double> small(10);
+  EXPECT_THROW(dec.gather(0, small), std::invalid_argument);
+}
+
+} // namespace

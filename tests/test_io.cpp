@@ -1,0 +1,155 @@
+// Checkpoint/restart round-trip tests for wavefunctions, lattices, and
+// the device-residency ledger + OMPallocator emulation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "mlmd/common/device.hpp"
+#include "mlmd/ferro/io.hpp"
+#include "mlmd/lfd/io.hpp"
+
+namespace {
+
+using namespace mlmd;
+
+std::string tmp_path(const char* name) { return ::testing::TempDir() + name; }
+
+TEST(WaveIo, RoundTripDouble) {
+  grid::Grid3 g{6, 4, 8, 0.5, 0.6, 0.7};
+  lfd::SoAWave<double> w(g, 3);
+  lfd::init_plane_waves(w);
+  const auto path = tmp_path("wave_d.bin");
+  lfd::save_wave(w, path);
+  auto r = lfd::load_wave<double>(path);
+  EXPECT_EQ(r.grid.nx, g.nx);
+  EXPECT_DOUBLE_EQ(r.grid.hy, g.hy);
+  EXPECT_EQ(r.norb, 3u);
+  EXPECT_EQ(r.psi, w.psi);
+  std::remove(path.c_str());
+}
+
+TEST(WaveIo, RoundTripFloat) {
+  grid::Grid3 g{4, 4, 4, 0.5, 0.5, 0.5};
+  lfd::SoAWave<float> w(g, 2);
+  lfd::init_plane_waves(w);
+  const auto path = tmp_path("wave_f.bin");
+  lfd::save_wave(w, path);
+  auto r = lfd::load_wave<float>(path);
+  EXPECT_EQ(r.psi, w.psi);
+  std::remove(path.c_str());
+}
+
+TEST(WaveIo, PrecisionMismatchThrows) {
+  grid::Grid3 g{4, 4, 4, 0.5, 0.5, 0.5};
+  lfd::SoAWave<float> w(g, 2);
+  const auto path = tmp_path("wave_mismatch.bin");
+  lfd::save_wave(w, path);
+  EXPECT_THROW(lfd::load_wave<double>(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(WaveIo, MissingFileThrows) {
+  EXPECT_THROW(lfd::load_wave<double>("/nonexistent/wave.bin"), std::runtime_error);
+}
+
+TEST(WaveIo, BadMagicThrows) {
+  const auto path = tmp_path("wave_bad.bin");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  std::fputs("not a wavefunction checkpoint at all, padding padding", fp);
+  std::fclose(fp);
+  EXPECT_THROW(lfd::load_wave<double>(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(LatticeIo, RoundTripIncludingStateAndParams) {
+  ferro::FerroParams p;
+  p.a0 = -0.7;
+  p.d = 0.33;
+  ferro::FerroLattice lat(6, 5, p);
+  mlmd::Rng rng(9);
+  for (auto& u : lat.field()) u = {rng.normal(), rng.normal(), rng.normal()};
+  for (auto& v : lat.velocity()) v = {rng.normal(), 0.0, rng.normal()};
+  std::vector<double> w(lat.ncells());
+  for (auto& x : w) x = rng.uniform();
+  lat.set_excitation(w);
+
+  const auto path = tmp_path("lattice.bin");
+  ferro::save_lattice(lat, path);
+  auto r = ferro::load_lattice(path);
+  EXPECT_EQ(r.lx(), 6u);
+  EXPECT_EQ(r.ly(), 5u);
+  EXPECT_DOUBLE_EQ(r.params().a0, -0.7);
+  EXPECT_DOUBLE_EQ(r.params().d, 0.33);
+  for (std::size_t i = 0; i < lat.ncells(); ++i) {
+    EXPECT_EQ(r.field()[i], lat.field()[i]);
+    EXPECT_EQ(r.velocity()[i], lat.velocity()[i]);
+    EXPECT_DOUBLE_EQ(r.excitation()[i], lat.excitation()[i]);
+  }
+  // Restart determinism: both lattices step identically.
+  lat.step();
+  r.step();
+  EXPECT_EQ(r.field()[3], lat.field()[3]);
+  std::remove(path.c_str());
+}
+
+TEST(LatticeIo, MissingFileThrows) {
+  EXPECT_THROW(ferro::load_lattice("/nonexistent/lat.bin"), std::runtime_error);
+}
+
+// --- device-residency emulation (paper Sec. V.B.6) -----------------------
+
+TEST(DeviceLedger, MapUnmapAccounting) {
+  auto& led = DeviceLedger::instance();
+  led.reset_counters();
+  const auto before = led.stats().resident_bytes;
+  int dummy = 0;
+  led.enter_data(&dummy, 1000);
+  EXPECT_TRUE(led.is_mapped(&dummy));
+  EXPECT_EQ(led.stats().resident_bytes, before + 1000);
+  led.update_to_device(&dummy, 400);
+  led.update_to_host(&dummy, 100);
+  auto s = led.stats();
+  EXPECT_EQ(s.h2d_bytes, 400u);
+  EXPECT_EQ(s.d2h_bytes, 100u);
+  EXPECT_EQ(s.h2d_transfers, 1u);
+  led.exit_data(&dummy);
+  EXPECT_FALSE(led.is_mapped(&dummy));
+  EXPECT_EQ(led.stats().resident_bytes, before);
+}
+
+TEST(DeviceLedger, UpdateUnmappedThrows) {
+  int dummy = 0;
+  EXPECT_THROW(DeviceLedger::instance().update_to_device(&dummy, 8),
+               std::logic_error);
+}
+
+TEST(OmpAllocator, VectorLifetimeMapsAndUnmaps) {
+  auto& led = DeviceLedger::instance();
+  const auto before = led.stats().resident_bytes;
+  {
+    std::vector<double, OMPAllocator<double>> v(1024);
+    EXPECT_TRUE(led.is_mapped(v.data()));
+    EXPECT_EQ(led.stats().resident_bytes, before + 1024 * sizeof(double));
+    // GPU-resident working arrays can be updated explicitly, as the
+    // shadow-dynamics exchange does for delta_f.
+    led.update_to_host(v.data(), 64);
+  }
+  EXPECT_EQ(led.stats().resident_bytes, before);
+}
+
+TEST(OmpAllocator, ShadowResidencyStory) {
+  // The wavefunction array stays resident; only occupation-sized updates
+  // move. Assert the byte ratio the paper's design relies on.
+  auto& led = DeviceLedger::instance();
+  led.reset_counters();
+  std::vector<std::complex<float>, OMPAllocator<std::complex<float>>> psi(
+      16 * 16 * 16 * 64);
+  std::vector<double> delta_f(64);
+  led.update_to_host(psi.data(), delta_f.size() * sizeof(double)); // delta_f out
+  auto s = led.stats();
+  EXPECT_GT(s.peak_resident, 1000 * (s.h2d_bytes + s.d2h_bytes));
+}
+
+} // namespace

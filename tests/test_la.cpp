@@ -1,0 +1,302 @@
+// Tests for the dense linear algebra substrate: parameterized-precision
+// GEMM against a reference implementation, the BF16 accuracy ladder, the
+// Hermitian Jacobi eigensolver, and orthonormalization.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <tuple>
+
+#include "mlmd/common/rng.hpp"
+#include "mlmd/la/eig.hpp"
+#include "mlmd/la/gemm.hpp"
+#include "mlmd/la/matrix.hpp"
+#include "mlmd/la/ortho.hpp"
+
+namespace {
+
+using namespace mlmd::la;
+using cd = std::complex<double>;
+using cf = std::complex<float>;
+
+template <class T>
+void fill_random(Matrix<T>& m, mlmd::Rng& rng) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if constexpr (std::is_arithmetic_v<T>)
+      m.data()[i] = static_cast<T>(rng.normal());
+    else
+      m.data()[i] = T(static_cast<typename T::value_type>(rng.normal()),
+                      static_cast<typename T::value_type>(rng.normal()));
+  }
+}
+
+/// Reference triple-loop GEMM.
+template <class T>
+Matrix<T> ref_gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a,
+                   const Matrix<T>& b, T beta, const Matrix<T>& c0) {
+  auto opa = [&](std::size_t i, std::size_t j) -> T {
+    if (ta == Trans::kN) return a(i, j);
+    T v = a(j, i);
+    if constexpr (!std::is_arithmetic_v<T>)
+      if (ta == Trans::kC) v = std::conj(v);
+    return v;
+  };
+  auto opb = [&](std::size_t i, std::size_t j) -> T {
+    if (tb == Trans::kN) return b(i, j);
+    T v = b(j, i);
+    if constexpr (!std::is_arithmetic_v<T>)
+      if (tb == Trans::kC) v = std::conj(v);
+    return v;
+  };
+  const std::size_t m = ta == Trans::kN ? a.rows() : a.cols();
+  const std::size_t k = ta == Trans::kN ? a.cols() : a.rows();
+  const std::size_t n = tb == Trans::kN ? b.cols() : b.rows();
+  Matrix<T> c(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc{};
+      for (std::size_t p = 0; p < k; ++p) acc += opa(i, p) * opb(p, j);
+      c(i, j) = alpha * acc + beta * c0(i, j);
+    }
+  return c;
+}
+
+// ---- parameterized GEMM sweep over shapes and trans combinations --------
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, ComplexDoubleMatchesReference) {
+  const auto& p = GetParam();
+  mlmd::Rng rng(17);
+  Matrix<cd> a(p.ta == Trans::kN ? p.m : p.k, p.ta == Trans::kN ? p.k : p.m);
+  Matrix<cd> b(p.tb == Trans::kN ? p.k : p.n, p.tb == Trans::kN ? p.n : p.k);
+  Matrix<cd> c(p.m, p.n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c, rng);
+  const cd alpha(1.3, -0.4), beta(0.5, 0.2);
+  auto expect = ref_gemm(p.ta, p.tb, alpha, a, b, beta, c);
+  gemm(p.ta, p.tb, alpha, a, b, beta, c);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-10 * static_cast<double>(p.k + 1));
+}
+
+TEST_P(GemmSweep, RealDoubleMatchesReference) {
+  const auto& p = GetParam();
+  if (p.ta == Trans::kC || p.tb == Trans::kC) GTEST_SKIP() << "conj == T for real";
+  mlmd::Rng rng(18);
+  Matrix<double> a(p.ta == Trans::kN ? p.m : p.k, p.ta == Trans::kN ? p.k : p.m);
+  Matrix<double> b(p.tb == Trans::kN ? p.k : p.n, p.tb == Trans::kN ? p.n : p.k);
+  Matrix<double> c(p.m, p.n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c, rng);
+  auto expect = ref_gemm(p.ta, p.tb, 2.0, a, b, -1.0, c);
+  gemm(p.ta, p.tb, 2.0, a, b, -1.0, c);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-10 * static_cast<double>(p.k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1, Trans::kN, Trans::kN},
+                      GemmCase{4, 4, 4, Trans::kN, Trans::kN},
+                      GemmCase{5, 3, 7, Trans::kN, Trans::kN},
+                      GemmCase{5, 3, 7, Trans::kT, Trans::kN},
+                      GemmCase{5, 3, 7, Trans::kN, Trans::kT},
+                      GemmCase{5, 3, 7, Trans::kC, Trans::kN},
+                      GemmCase{5, 3, 7, Trans::kN, Trans::kC},
+                      GemmCase{5, 3, 7, Trans::kC, Trans::kC},
+                      GemmCase{64, 64, 64, Trans::kN, Trans::kN},
+                      GemmCase{64, 64, 64, Trans::kC, Trans::kN},
+                      GemmCase{130, 70, 129, Trans::kN, Trans::kN},
+                      GemmCase{33, 65, 200, Trans::kC, Trans::kT}));
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix<double> a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(gemm(Trans::kN, Trans::kN, 1.0, a, b, 0.0, c),
+               std::invalid_argument);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Matrix<double> a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  b(0, 0) = 3;
+  b(1, 1) = 4;
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::kN, Trans::kN, 1.0, a, b, 0.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(Gemv, MatchesGemm) {
+  mlmd::Rng rng(19);
+  Matrix<double> a(6, 4);
+  fill_random(a, rng);
+  std::vector<double> x(4), y(6, 0.0);
+  for (auto& v : x) v = rng.normal();
+  gemv(Trans::kN, 1.0, a, x.data(), 0.0, y.data());
+  for (std::size_t i = 0; i < 6; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < 4; ++j) acc += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], acc, 1e-12);
+  }
+}
+
+// ---- BF16 mixed-precision ladder ----------------------------------------
+
+class Bf16Ladder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Bf16Ladder, AccuracyImprovesWithComponents) {
+  const std::size_t n = GetParam();
+  mlmd::Rng rng(23);
+  Matrix<cf> a(n, n), b(n, n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+
+  Matrix<cf> c_ref(n, n), c1(n, n), c2(n, n), c3(n, n);
+  const cf one(1.0f, 0.0f), zero{};
+  gemm(Trans::kC, Trans::kN, one, a, b, zero, c_ref);
+  gemm_mixed(ComputeMode::kBF16, Trans::kC, Trans::kN, one, a, b, zero, c1);
+  gemm_mixed(ComputeMode::kBF16x2, Trans::kC, Trans::kN, one, a, b, zero, c2);
+  gemm_mixed(ComputeMode::kBF16x3, Trans::kC, Trans::kN, one, a, b, zero, c3);
+
+  const double e1 = max_abs_diff(c1, c_ref);
+  const double e2 = max_abs_diff(c2, c_ref);
+  const double e3 = max_abs_diff(c3, c_ref);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_LT(e2, e1);
+  EXPECT_LE(e3, e2);
+  // BF16x3 is "comparable to standard single precision" (paper Sec. VI.C).
+  EXPECT_LT(e3, 1e-4 * std::sqrt(static_cast<double>(n)));
+  // Plain BF16 relative error stays bounded by its 2^-8 mantissa.
+  EXPECT_LT(e1 / (fro_norm(c_ref) / n + 1e-30), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Bf16Ladder, ::testing::Values(4, 16, 48, 96));
+
+TEST(Bf16Gemm, NativeModeIdentical) {
+  mlmd::Rng rng(29);
+  Matrix<cf> a(8, 8), b(8, 8), c1(8, 8), c2(8, 8);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  const cf one(1.0f, 0.0f), zero{};
+  gemm(Trans::kN, Trans::kN, one, a, b, zero, c1);
+  gemm_mixed(ComputeMode::kNative, Trans::kN, Trans::kN, one, a, b, zero, c2);
+  EXPECT_EQ(c1, c2);
+}
+
+// ---- eigensolver ---------------------------------------------------------
+
+class EigSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigSweep, RandomHermitianResidual) {
+  const std::size_t n = GetParam();
+  mlmd::Rng rng(31 + n);
+  Matrix<cd> h(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h(i, i) = rng.normal();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      h(i, j) = cd(rng.normal(), rng.normal());
+      h(j, i) = std::conj(h(i, j));
+    }
+  }
+  auto r = eigh(h);
+  // Residual ||H v - lambda v|| per eigenpair.
+  for (std::size_t q = 0; q < n; ++q) {
+    double res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cd acc{};
+      for (std::size_t j = 0; j < n; ++j) acc += h(i, j) * r.vectors(j, q);
+      acc -= r.values[q] * r.vectors(i, q);
+      res += std::norm(acc);
+    }
+    EXPECT_LT(std::sqrt(res), 1e-8) << "eigenpair " << q;
+  }
+  // Eigenvalues ascending.
+  for (std::size_t q = 1; q < n; ++q) EXPECT_LE(r.values[q - 1], r.values[q] + 1e-12);
+  // Eigenvectors orthonormal.
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      cd acc{};
+      for (std::size_t i = 0; i < n; ++i)
+        acc += std::conj(r.vectors(i, p)) * r.vectors(i, q);
+      EXPECT_NEAR(std::abs(acc), p == q ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(Eig, KnownPauliX) {
+  Matrix<cd> h(2, 2);
+  h(0, 1) = 1.0;
+  h(1, 0) = 1.0;
+  auto r = eigh(h);
+  EXPECT_NEAR(r.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+}
+
+TEST(Eig, DiagonalMatrix) {
+  Matrix<cd> h(3, 3);
+  h(0, 0) = 3.0;
+  h(1, 1) = 1.0;
+  h(2, 2) = 2.0;
+  auto r = eigh(h);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Eig, NonSquareThrows) {
+  Matrix<cd> h(2, 3);
+  EXPECT_THROW(eigh(h), std::invalid_argument);
+}
+
+TEST(Eig, RealSymmetricWrapper) {
+  Matrix<double> h(2, 2);
+  h(0, 0) = 2.0;
+  h(0, 1) = 1.0;
+  h(1, 0) = 1.0;
+  h(1, 1) = 2.0;
+  auto r = eigh(h);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+}
+
+// ---- orthonormalization --------------------------------------------------
+
+TEST(Ortho, MgsProducesOrthonormalSet) {
+  mlmd::Rng rng(37);
+  const double dv = 0.125;
+  Matrix<cd> psi(200, 6);
+  fill_random(psi, rng);
+  mgs_orthonormalize(psi, dv);
+  EXPECT_LT(orthonormality_error(psi, dv), 1e-10);
+}
+
+TEST(Ortho, LowdinProducesOrthonormalSet) {
+  mlmd::Rng rng(38);
+  const double dv = 0.2;
+  Matrix<cd> psi(150, 5);
+  fill_random(psi, rng);
+  lowdin_orthonormalize(psi, dv);
+  EXPECT_LT(orthonormality_error(psi, dv), 1e-8);
+}
+
+TEST(Ortho, LowdinPreservesOrthonormalInput) {
+  mlmd::Rng rng(39);
+  const double dv = 0.1;
+  Matrix<cd> psi(100, 4);
+  fill_random(psi, rng);
+  mgs_orthonormalize(psi, dv);
+  Matrix<cd> before = psi;
+  lowdin_orthonormalize(psi, dv);
+  // Lowdin is the identity on already-orthonormal sets.
+  EXPECT_LT(max_abs_diff(psi, before), 1e-7);
+}
+
+} // namespace

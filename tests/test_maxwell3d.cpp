@@ -1,0 +1,89 @@
+// Tests for the 3D Yee FDTD solver: CFL guard, divergence-free B,
+// light-speed plane-wave propagation, vacuum energy conservation,
+// current-driven radiation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mlmd/common/units.hpp"
+#include "mlmd/maxwell/maxwell3d.hpp"
+
+namespace {
+
+using namespace mlmd::maxwell;
+using mlmd::units::c_light;
+
+TEST(Maxwell3D, CflViolationThrows) {
+  EXPECT_THROW(Maxwell3D(8, 8, 8, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Maxwell3D, TooSmallThrows) {
+  EXPECT_THROW(Maxwell3D(1, 8, 8, 10.0, 1e-3), std::invalid_argument);
+}
+
+TEST(Maxwell3D, VacuumStaysDark) {
+  Maxwell3D em(8, 8, 8, 10.0, 0.02);
+  for (int i = 0; i < 50; ++i) em.step();
+  EXPECT_DOUBLE_EQ(em.energy(), 0.0);
+}
+
+TEST(Maxwell3D, DivBStaysZero) {
+  const double dx = 10.0;
+  const double dt = 0.5 * dx / (c_light * std::sqrt(3.0));
+  Maxwell3D em(16, 8, 8, dx, dt);
+  em.seed_plane_wave(2, 0.05);
+  for (int i = 0; i < 100; ++i) em.step();
+  EXPECT_LT(em.max_div_b(), 1e-12);
+}
+
+TEST(Maxwell3D, VacuumEnergyConserved) {
+  const double dx = 10.0;
+  const double dt = 0.4 * dx / (c_light * std::sqrt(3.0));
+  Maxwell3D em(16, 8, 8, dx, dt);
+  em.seed_plane_wave(1, 0.03);
+  const double e0 = em.energy();
+  ASSERT_GT(e0, 0.0);
+  for (int i = 0; i < 200; ++i) em.step();
+  // Leapfrog conserves a discrete energy; the sampled-time energy
+  // oscillates within a narrow band.
+  EXPECT_NEAR(em.energy(), e0, 0.05 * e0);
+}
+
+TEST(Maxwell3D, PlaneWaveTravelsAtLightSpeed) {
+  const std::size_t nx = 32;
+  const double dx = 10.0;
+  const double dt = 0.4 * dx / (c_light * std::sqrt(3.0));
+  Maxwell3D em(nx, 4, 4, dx, dt);
+  em.seed_plane_wave(1, 0.05);
+  const double e_before = em.e(1, 0, 0, 0);
+
+  // After one full period T = L / c the wave returns to its start.
+  const double period = static_cast<double>(nx) * dx / c_light;
+  const int steps = static_cast<int>(std::round(period / dt));
+  for (int i = 0; i < steps; ++i) em.step();
+  EXPECT_NEAR(em.e(1, 0, 0, 0), e_before, 0.15 * std::abs(e_before) + 1e-4);
+}
+
+TEST(Maxwell3D, CurrentRadiates) {
+  const double dx = 10.0;
+  const double dt = 0.4 * dx / (c_light * std::sqrt(3.0));
+  Maxwell3D em(12, 12, 12, dx, dt);
+  std::vector<double> j(3 * em.ncells(), 0.0);
+  const std::size_t center = (6 * 12 + 6) * 12 + 6;
+  for (int i = 0; i < 40; ++i) {
+    j[em.ncells() + center] = 1e-3 * std::sin(0.4 * i); // J_y at the centre
+    em.step(j);
+  }
+  EXPECT_GT(em.energy(), 0.0);
+  EXPECT_LT(em.max_div_b(), 1e-12);
+}
+
+TEST(Maxwell3D, WrongCurrentSizeThrows) {
+  Maxwell3D em(8, 8, 8, 10.0, 0.02);
+  std::vector<double> j(10, 0.0);
+  EXPECT_THROW(em.step(j), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+// Tests for DC-MESH: the shadow-dynamics contract, photoexcitation vs
+// dark dynamics, the Table I baseline runners, and the SimComm
+// multi-domain driver with Maxwell coupling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlmd/mesh/baseline.hpp"
+#include "mlmd/mesh/dcmesh.hpp"
+#include "mlmd/mesh/multidomain.hpp"
+
+namespace {
+
+using namespace mlmd;
+using namespace mlmd::mesh;
+
+MeshOptions fast_options() {
+  MeshOptions opt;
+  opt.lfd.dt_qd = 0.06;
+  opt.nqd_per_md = 10;
+  opt.lfd.hartree_every = 5;
+  opt.lfd.nlp_every = 5;
+  return opt;
+}
+
+DcMeshDomain make_domain(MeshOptions opt = fast_options()) {
+  grid::Grid3 g{8, 8, 8, 0.7, 0.7, 0.7};
+  std::vector<lfd::Ion> ions = {
+      {0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 1.6, 2.0}};
+  return DcMeshDomain(g, 4, 2, ions, opt);
+}
+
+TEST(DcMesh, DarkStepKeepsOccupationsSane) {
+  auto dom = make_domain();
+  auto stats = dom.md_step(nullptr);
+  for (double f : dom.lfd().occupations()) {
+    EXPECT_GE(f, -1e-9);
+    EXPECT_LE(f, 2.0 + 1e-9);
+  }
+  EXPECT_GE(stats.n_exc, 0.0);
+  EXPECT_GT(dom.time(), 0.0);
+}
+
+TEST(DcMesh, ShadowTrafficTinyVsWavefunctions) {
+  auto dom = make_domain();
+  auto stats = dom.md_step(nullptr);
+  // The paper's claim (Sec. V.A.3): occupation traffic is negligible
+  // compared to the resident wavefunction arrays.
+  EXPECT_GT(stats.wavefunction_bytes, 100 * stats.bytes_lfd_to_qxmd);
+  // delta_v_loc is one scalar field: N_grid doubles.
+  EXPECT_EQ(stats.bytes_qxmd_to_lfd, 8u * 8 * 8 * 8);
+  // delta_f is N_orb doubles.
+  EXPECT_EQ(stats.bytes_lfd_to_qxmd, 4u * 8);
+}
+
+TEST(DcMesh, PulseExcitesMoreThanDark) {
+  auto lit = make_domain();
+  auto dark = make_domain();
+  maxwell::Pulse pulse;
+  pulse.e0 = 0.15;
+  pulse.omega = 0.15;
+  pulse.fwhm = 30.0;
+  pulse.t0 = 1.5 * lit.md_dt();
+  double n_lit = 0, n_dark = 0;
+  for (int s = 0; s < 3; ++s) {
+    n_lit = lit.md_step(&pulse).n_exc;
+    n_dark = dark.md_step(nullptr).n_exc;
+  }
+  EXPECT_GE(n_lit, n_dark);
+}
+
+TEST(DcMesh, FixedVectorPotentialPath) {
+  auto dom = make_domain();
+  auto stats = dom.md_step_with_a(0.3);
+  EXPECT_GE(stats.n_exc, 0.0);
+  auto j = dom.current(0.3);
+  EXPECT_TRUE(std::isfinite(j[0]) && std::isfinite(j[1]) && std::isfinite(j[2]));
+}
+
+TEST(DcMesh, IonsStayBounded) {
+  auto dom = make_domain();
+  for (int s = 0; s < 5; ++s) {
+    auto stats = dom.md_step(nullptr);
+    EXPECT_LT(stats.ion_max_disp, 1.0); // spring keeps the toy lattice bound
+  }
+}
+
+TEST(Baseline, GlobalAndDcProduceTimings) {
+  auto base = run_global_baseline(8, 4, 2);
+  EXPECT_GT(base.seconds_per_qd_step, 0.0);
+  EXPECT_EQ(base.electrons, 8u);
+  auto dc = run_dc_domain(8, 4, 2);
+  EXPECT_GT(dc.seconds_per_qd_step, 0.0);
+}
+
+TEST(Baseline, GlobalPerElectronCostGrowsWithSize) {
+  // The structural Table I claim: baseline T2S/electron grows with the
+  // orbital count (O(N^2) orthogonalization); allow generous margin but
+  // require clear growth over a 8x size ratio.
+  auto small = run_global_baseline(8, 4, 3);
+  auto large = run_global_baseline(12, 32, 3);
+  EXPECT_GT(large.t2s_per_electron, 1.5 * small.t2s_per_electron);
+}
+
+TEST(Multidomain, RunsAndGathersNexc) {
+  ParallelMeshOptions opt;
+  opt.md_steps = 1;
+  opt.grid_n = 8;
+  opt.norb = 4;
+  opt.nfilled = 2;
+  opt.mesh = fast_options();
+  auto res = run_parallel_mesh(3, opt);
+  ASSERT_EQ(res.n_exc_per_domain.size(), 3u);
+  for (double v : res.n_exc_per_domain) EXPECT_GE(v, 0.0);
+  // Communication pattern: per MD step one current allgather (per rank)
+  // plus one final gather per rank.
+  EXPECT_GE(res.traffic.collective_ops, 3u * 2u);
+  EXPECT_GT(res.traffic.collective_bytes, 0u);
+}
+
+TEST(Multidomain, SingleRankWorks) {
+  ParallelMeshOptions opt;
+  opt.md_steps = 1;
+  opt.mesh = fast_options();
+  auto res = run_parallel_mesh(1, opt);
+  ASSERT_EQ(res.n_exc_per_domain.size(), 1u);
+}
+
+TEST(Multidomain, DeterministicAcrossRuns) {
+  ParallelMeshOptions opt;
+  opt.md_steps = 1;
+  opt.mesh = fast_options();
+  auto a = run_parallel_mesh(2, opt);
+  auto b = run_parallel_mesh(2, opt);
+  ASSERT_EQ(a.n_exc_per_domain.size(), b.n_exc_per_domain.size());
+  for (std::size_t i = 0; i < a.n_exc_per_domain.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.n_exc_per_domain[i], b.n_exc_per_domain[i]);
+}
+
+} // namespace

@@ -1,0 +1,333 @@
+// Tests for the NNQMD stack: MLP gradients, descriptors, Allegro-style
+// models (forces vs numerical gradients, block inference), training with
+// Adam and SAM, TEA dataset unification, Eq. (4) mixing, and the
+// fidelity-scaling instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "mlmd/common/rng.hpp"
+#include "mlmd/nnq/allegro.hpp"
+#include "mlmd/nnq/descriptor.hpp"
+#include "mlmd/nnq/fidelity.hpp"
+#include "mlmd/nnq/mlp.hpp"
+#include "mlmd/nnq/optimizer.hpp"
+#include "mlmd/nnq/train.hpp"
+#include "mlmd/qxmd/pair_potential.hpp"
+
+namespace {
+
+using namespace mlmd;
+using namespace mlmd::nnq;
+
+TEST(Mlp, ForwardShapes) {
+  Mlp net({4, 8, 2});
+  EXPECT_EQ(net.n_in(), 4u);
+  EXPECT_EQ(net.n_out(), 2u);
+  EXPECT_EQ(net.n_params(), 4u * 8 + 8 + 8 * 2 + 2);
+  auto y = net.forward({1.0, -0.5, 0.2, 0.0});
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  Mlp a({3, 5, 1}, 99), b({3, 5, 1}, 99);
+  EXPECT_EQ(a.params(), b.params());
+}
+
+TEST(Mlp, GradInputMatchesFiniteDifference) {
+  Mlp net({5, 12, 7, 1}, 3);
+  std::vector<double> x = {0.3, -0.7, 1.1, 0.0, -0.2};
+  auto g = net.grad_input(x);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd = (net.value(xp) - net.value(xm)) / (2 * eps);
+    EXPECT_NEAR(g[i], fd, 1e-7) << "input " << i;
+  }
+}
+
+TEST(Mlp, WeightGradientMatchesFiniteDifference) {
+  Mlp net({3, 6, 1}, 4);
+  std::vector<double> x = {0.5, -0.3, 0.9};
+  std::vector<double> grad(net.n_params(), 0.0);
+  net.forward_backward(x, {1.0}, grad); // dL/dy = 1 -> grad of y itself
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < net.n_params(); i += 5) {
+    const double orig = net.params()[i];
+    net.params()[i] = orig + eps;
+    const double yp = net.value(x);
+    net.params()[i] = orig - eps;
+    const double ym = net.value(x);
+    net.params()[i] = orig;
+    EXPECT_NEAR(grad[i], (yp - ym) / (2 * eps), 1e-7) << "param " << i;
+  }
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp net({4, 7, 1}, 5);
+  const std::string path = ::testing::TempDir() + "/mlp_roundtrip.txt";
+  net.save(path);
+  auto loaded = Mlp::load(path);
+  EXPECT_EQ(loaded.sizes(), net.sizes());
+  EXPECT_EQ(loaded.params(), net.params());
+  std::remove(path.c_str());
+}
+
+TEST(Mlp, LoadMissingFileThrows) {
+  EXPECT_THROW(Mlp::load("/nonexistent/model.txt"), std::runtime_error);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // minimize f(w) = |w - target|^2.
+  std::vector<double> w = {5.0, -3.0, 2.0};
+  const std::vector<double> target = {1.0, 1.0, 1.0};
+  Adam adam(3, {.lr = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> g(3);
+    for (int k = 0; k < 3; ++k) g[static_cast<std::size_t>(k)] =
+        2.0 * (w[static_cast<std::size_t>(k)] - target[static_cast<std::size_t>(k)]);
+    adam.step(w, g);
+  }
+  for (int k = 0; k < 3; ++k)
+    EXPECT_NEAR(w[static_cast<std::size_t>(k)], 1.0, 1e-3);
+}
+
+TEST(Sam, PerturbAndRestore) {
+  std::vector<double> w = {1.0, 2.0};
+  std::vector<double> g = {3.0, 4.0}; // |g| = 5
+  auto disp = sam_perturb(w, g, 0.5);
+  EXPECT_NEAR(w[0], 1.0 + 0.5 * 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0 + 0.5 * 4.0 / 5.0, 1e-12);
+  for (std::size_t i = 0; i < 2; ++i) w[i] -= disp[i];
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+}
+
+TEST(Descriptor, CutoffSmoothAndZeroBeyond) {
+  auto basis = RadialBasis::make(4, 1.0, 5.0, 1.0);
+  EXPECT_NEAR(basis.fc(0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(basis.fc(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(basis.fc(7.0), 0.0);
+  // Derivative consistency near the cutoff.
+  const double eps = 1e-6;
+  for (double r : {1.5, 3.0, 4.9}) {
+    EXPECT_NEAR(basis.dfc(r), (basis.fc(r + eps) - basis.fc(r - eps)) / (2 * eps),
+                1e-6);
+  }
+}
+
+TEST(Descriptor, BasisDerivativeMatchesFd) {
+  auto basis = RadialBasis::make(6, 1.0, 6.0, 1.2);
+  std::vector<double> g1, dg, g2, tmp;
+  const double r = 3.17, eps = 1e-6;
+  basis.eval(r, g1, dg);
+  basis.eval(r + eps, g2, tmp);
+  basis.eval(r - eps, g1, tmp);
+  std::vector<double> gm = g1;
+  basis.eval(r, g1, dg);
+  for (std::size_t k = 0; k < basis.size(); ++k)
+    EXPECT_NEAR(dg[k], (g2[k] - gm[k]) / (2 * eps), 1e-6);
+}
+
+TEST(Descriptor, InvariantUnderGlobalTranslation) {
+  auto atoms = qxmd::make_cubic_lattice(3, 3, 3, 4.0, 50.0);
+  mlmd::Rng rng(8);
+  for (auto& x : atoms.r) x += 0.2 * rng.normal();
+  auto basis = RadialBasis::make(5, 1.0, 6.0, 1.0);
+  qxmd::NeighborList nl(atoms, basis.rc);
+  auto d1 = atom_descriptors(atoms, nl, basis);
+
+  for (std::size_t i = 0; i < atoms.n(); ++i) {
+    atoms.pos(i)[0] += 1.7;
+    atoms.box.wrap(atoms.pos(i));
+  }
+  qxmd::NeighborList nl2(atoms, basis.rc);
+  auto d2 = atom_descriptors(atoms, nl2, basis);
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_NEAR(d1[i], d2[i], 1e-9);
+}
+
+TEST(AtomModel, ForcesMatchEnergyGradient) {
+  auto atoms = qxmd::make_cubic_lattice(2, 2, 2, 4.5, 50.0);
+  mlmd::Rng rng(9);
+  for (auto& x : atoms.r) x += 0.3 * rng.normal();
+  AtomModel model(RadialBasis::make(4, 1.5, 6.0, 1.2), {8, 8}, 77);
+  qxmd::NeighborList nl(atoms, 6.0);
+  std::vector<double> f;
+  model.energy_forces(atoms, nl, f);
+
+  const double eps = 1e-5;
+  for (std::size_t i : {0ul, 3ul, 7ul}) {
+    for (int k = 0; k < 3; ++k) {
+      qxmd::Atoms moved = atoms;
+      moved.pos(i)[k] += eps;
+      qxmd::NeighborList nlp(moved, 6.0);
+      std::vector<double> tmp;
+      const double ep = model.energy_forces(moved, nlp, tmp);
+      moved.pos(i)[k] -= 2 * eps;
+      qxmd::NeighborList nlm(moved, 6.0);
+      const double em = model.energy_forces(moved, nlm, tmp);
+      EXPECT_NEAR(f[3 * i + static_cast<std::size_t>(k)], -(ep - em) / (2 * eps),
+                  1e-4) << i << "," << k;
+    }
+  }
+}
+
+TEST(AtomModel, NewtonsThirdLaw) {
+  auto atoms = qxmd::make_cubic_lattice(3, 3, 3, 4.0, 50.0);
+  mlmd::Rng rng(10);
+  for (auto& x : atoms.r) x += 0.3 * rng.normal();
+  AtomModel model(RadialBasis::make(6, 1.5, 6.0, 1.2), {16, 8});
+  qxmd::NeighborList nl(atoms, 6.0);
+  std::vector<double> f;
+  model.energy_forces(atoms, nl, f);
+  double total[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < atoms.n(); ++i)
+    for (int k = 0; k < 3; ++k) total[k] += f[3 * i + static_cast<std::size_t>(k)];
+  for (double t : total) EXPECT_NEAR(t, 0.0, 1e-9);
+}
+
+TEST(AtomModel, BlockInferenceBitwiseIdentical) {
+  auto atoms = qxmd::make_cubic_lattice(4, 4, 4, 4.0, 50.0);
+  mlmd::Rng rng(11);
+  for (auto& x : atoms.r) x += 0.2 * rng.normal();
+  AtomModel model(RadialBasis::make(6, 1.5, 6.0, 1.2), {16, 8});
+  qxmd::NeighborList nl(atoms, 6.0);
+  std::vector<double> f_full, f_blocked;
+  const double e_full = model.energy_forces(atoms, nl, f_full, 0);
+  const std::size_t scratch_full = model.last_peak_scratch_bytes();
+  const double e_blocked = model.energy_forces(atoms, nl, f_blocked, 7);
+  const std::size_t scratch_blocked = model.last_peak_scratch_bytes();
+  EXPECT_DOUBLE_EQ(e_full, e_blocked);
+  EXPECT_EQ(f_full, f_blocked);
+  // Block inference bounds the scratch (paper Sec. V.B.9).
+  EXPECT_LT(scratch_blocked, scratch_full);
+}
+
+TEST(LatticeModel, ForcesMatchEnergyGradient) {
+  ferro::FerroLattice lat(4, 4);
+  mlmd::Rng rng(12);
+  for (auto& u : lat.field()) u = {0.3 * rng.normal(), 0.3 * rng.normal(),
+                                   0.5 + 0.2 * rng.normal()};
+  LatticeModel model({12, 12}, 13);
+  auto f = model.forces(lat);
+  const double eps = 1e-6;
+  for (std::size_t i : {0ul, 5ul, 10ul}) {
+    for (int c = 0; c < 3; ++c) {
+      auto& u = lat.field()[i][static_cast<std::size_t>(c)];
+      const double orig = u;
+      u = orig + eps;
+      const double ep = model.energy(lat);
+      u = orig - eps;
+      const double em = model.energy(lat);
+      u = orig;
+      EXPECT_NEAR(f[i][static_cast<std::size_t>(c)], -(ep - em) / (2 * eps), 1e-6)
+          << i << "," << c;
+    }
+  }
+}
+
+TEST(Training, LossDecreases) {
+  auto data = sample_ferro_dataset(6, 6, 0.05, 12, 5, 0.0, 21);
+  Mlp net({kLatticeFeatures, 16, 1}, 31);
+  TrainOptions opt;
+  opt.epochs = 25;
+  auto hist = train_energy(net, data, opt);
+  ASSERT_EQ(hist.epoch_loss.size(), 25u);
+  EXPECT_LT(hist.epoch_loss.back(), 0.5 * hist.epoch_loss.front());
+}
+
+TEST(Training, SamAlsoConverges) {
+  auto data = sample_ferro_dataset(6, 6, 0.05, 12, 5, 0.0, 22);
+  Mlp net({kLatticeFeatures, 16, 1}, 32);
+  TrainOptions opt;
+  opt.epochs = 25;
+  opt.sam_rho = 0.05;
+  auto hist = train_energy(net, data, opt);
+  EXPECT_LT(hist.epoch_loss.back(), hist.epoch_loss.front());
+}
+
+TEST(Training, EmptyDatasetThrows) {
+  Mlp net({kLatticeFeatures, 8, 1});
+  EXPECT_THROW(train_energy(net, {}, {}), std::invalid_argument);
+}
+
+TEST(Tea, RecoversAffineTransform) {
+  mlmd::Rng rng(41);
+  std::vector<double> ref(20), src(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    ref[i] = rng.normal() * 10.0;
+    src[i] = (ref[i] - 3.0) / 1.25; // ref = 1.25 * src + 3.0
+  }
+  auto t = tea_fit(src, ref);
+  EXPECT_NEAR(t.scale, 1.25, 1e-9);
+  EXPECT_NEAR(t.shift, 3.0, 1e-9);
+}
+
+TEST(Tea, UnifyAlignsAndMerges) {
+  auto ref = sample_ferro_dataset(5, 5, 0.05, 10, 4, 0.0, 51);
+  auto other = ref; // identical structures ...
+  for (auto& s : other) s.energy = 2.0 * s.energy + 5.0; // ... shifted fidelity
+  auto merged = tea_unify(ref, {other}, 6);
+  ASSERT_EQ(merged.size(), ref.size() + other.size() - 6);
+  // Aligned energies of the overlapping structures must match the ref.
+  for (std::size_t i = 6; i < 10; ++i)
+    EXPECT_NEAR(merged[ref.size() + (i - 6)].energy, ref[i].energy, 1e-9);
+}
+
+TEST(Tea, TooFewPairsThrows) {
+  EXPECT_THROW(tea_fit({1.0}, {2.0}), std::invalid_argument);
+}
+
+TEST(Mixing, WeightSaturates) {
+  EXPECT_DOUBLE_EQ(excitation_weight(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(excitation_weight(0.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(excitation_weight(5.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(excitation_weight(1.0, 0.0), 0.0);
+}
+
+TEST(Mixing, InterpolatesForces) {
+  ferro::FerroLattice lat(4, 4);
+  for (auto& u : lat.field()) u = {0.1, 0.2, 0.5};
+  LatticeModel gs({8, 8}, 1), xs({8, 8}, 2);
+  auto fg = gs.forces(lat);
+  auto fx = xs.forces(lat);
+  auto fm = xs_mixed_forces(gs, xs, lat, 0.5, 1.0);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(fm[i][static_cast<std::size_t>(c)],
+                  0.5 * fg[i][static_cast<std::size_t>(c)] +
+                      0.5 * fx[i][static_cast<std::size_t>(c)],
+                  1e-12);
+}
+
+TEST(Fidelity, PowerlawExponentRecovered) {
+  // Synthetic t = 100 * N^-0.3.
+  std::vector<double> n = {100, 400, 1600, 6400};
+  std::vector<double> t;
+  for (double x : n) t.push_back(100.0 * std::pow(x, -0.3));
+  EXPECT_NEAR(powerlaw_exponent(n, t), -0.3, 1e-6);
+}
+
+TEST(Fidelity, StableModelSurvivesLonger) {
+  // A model with huge weight noise fails quickly; with none it survives.
+  auto data = sample_ferro_dataset(6, 6, 0.05, 10, 4, 0.0, 61);
+  LatticeModel model({12, 12}, 71);
+  TrainOptions topt;
+  topt.epochs = 15;
+  train_energy(model.net(), data, topt);
+
+  ferro::FerroParams params;
+  FailureOptions quiet;
+  quiet.max_steps = 200;
+  FailureOptions noisy = quiet;
+  noisy.weight_noise = 3.0;
+  const long t_quiet = time_to_failure(model, 8, 8, params, quiet);
+  const long t_noisy = time_to_failure(model, 8, 8, params, noisy);
+  EXPECT_GT(t_quiet, t_noisy);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+// Tests for the calibrated machine model: collective cost functions,
+// compute-model fitting, and the qualitative scaling shapes the Fig. 4/5
+// benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlmd/perf/machine.hpp"
+
+namespace {
+
+using namespace mlmd::perf;
+
+TEST(Network, SingleRankFree) {
+  Network net;
+  EXPECT_DOUBLE_EQ(net.allreduce(1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(net.allgather(1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(net.gather(1, 1000), 0.0);
+}
+
+TEST(Network, CostsMonotonicInRanksAndBytes) {
+  Network net;
+  EXPECT_LT(net.allreduce(2, 8), net.allreduce(1024, 8));
+  EXPECT_LT(net.allreduce(64, 8), net.allreduce(64, 1 << 20));
+  EXPECT_LT(net.gather(64, 8), net.gather(4096, 8));
+  EXPECT_LT(net.halo(100), net.halo(1 << 20));
+}
+
+TEST(Network, AllgatherRecursiveDoublingFormula) {
+  Network net;
+  // ceil(log2 p) latency rounds + (p-1) payload blocks through each rank.
+  for (long p : {2L, 4L, 64L, 1000L}) {
+    const double expect =
+        std::ceil(std::log2(static_cast<double>(p))) * net.latency +
+        static_cast<double>(p - 1) * 8.0 / net.bandwidth;
+    EXPECT_NEAR(net.allgather(p, 8), expect, 1e-15);
+  }
+}
+
+TEST(ComputeFit, RecoversCoefficients) {
+  const double a = 1e-4, b = 1e-7;
+  std::vector<double> n, t;
+  for (double x : {16.0, 64.0, 256.0, 1024.0}) {
+    n.push_back(x);
+    t.push_back(a * x + b * x * x);
+  }
+  auto c = DcMeshCompute::fit(n, t);
+  EXPECT_NEAR(c.a, a, 1e-8);
+  EXPECT_NEAR(c.b, b, 1e-10);
+}
+
+TEST(ComputeFit, ClampsNegative) {
+  // Noisy data could give negative coefficients; they must be clamped.
+  std::vector<double> n = {1.0, 2.0};
+  std::vector<double> t = {1.0, 0.5}; // decreasing: unphysical
+  auto c = DcMeshCompute::fit(n, t);
+  EXPECT_GE(c.a, 0.0);
+  EXPECT_GE(c.b, 0.0);
+}
+
+TEST(ComputeFit, TooFewPointsThrows) {
+  EXPECT_THROW(DcMeshCompute::fit({1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(DcMeshScaling, WeakEfficiencyNearOneAndBounded) {
+  DcMeshCompute comp{1e-5, 1e-8};
+  Network net;
+  auto pts = dcmesh_weak_scaling(comp, net, {6144, 24576, 120000}, 128);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].efficiency, 1.0);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.efficiency, 1.0 + 1e-9);
+    EXPECT_GT(p.efficiency, 0.5); // weak scaling ~flat (Fig. 4a shape)
+  }
+}
+
+TEST(DcMeshScaling, WeakTimeNearlyConstant) {
+  DcMeshCompute comp{1e-5, 1e-8};
+  Network net;
+  auto pts = dcmesh_weak_scaling(comp, net, {6144, 120000}, 128);
+  EXPECT_LT(pts[1].seconds / pts[0].seconds, 1.5);
+}
+
+TEST(DcMeshScaling, StrongEfficiencyDecays) {
+  DcMeshCompute comp{1e-5, 1e-8};
+  Network net;
+  auto pts = dcmesh_strong_scaling(comp, net, {24576, 49152, 98304}, 12582912);
+  EXPECT_DOUBLE_EQ(pts[0].efficiency, 1.0);
+  EXPECT_LT(pts[2].efficiency, pts[1].efficiency);
+  EXPECT_LT(pts[2].efficiency, 1.0);
+  EXPECT_GT(pts[2].efficiency, 0.3); // Fig. 4b ballpark (paper: 0.843)
+}
+
+TEST(NnqmdScaling, WeakEfficiencyImprovesWithGranularity) {
+  NnqmdCompute comp;
+  comp.t_atom = 1e-7;
+  Network net;
+  const std::vector<long> ranks = {7500, 120000};
+  const double e_small = nnqmd_weak_scaling(comp, net, ranks, 160000).back().efficiency;
+  const double e_large =
+      nnqmd_weak_scaling(comp, net, ranks, 10240000).back().efficiency;
+  EXPECT_GE(e_large, e_small); // Fig. 5a shape: 0.997 vs 0.957
+  EXPECT_GT(e_large, 0.9);
+}
+
+TEST(NnqmdScaling, StrongSmallerProblemWorse) {
+  NnqmdCompute comp;
+  comp.t_atom = 1e-7;
+  Network net;
+  const std::vector<long> ranks = {9225, 73800};
+  const double e_small =
+      nnqmd_strong_scaling(comp, net, ranks, 221400000).back().efficiency;
+  const double e_large =
+      nnqmd_strong_scaling(comp, net, ranks, 984000000).back().efficiency;
+  EXPECT_LT(e_small, e_large); // Fig. 5b shape: 0.440 vs 0.773
+}
+
+TEST(Aggregate, FlopsRule) {
+  // Sec. VII.B: aggregate = per-domain FLOPs x domains / wall time.
+  EXPECT_DOUBLE_EQ(aggregate_flops_per_sec(1e12, 120000, 1.705),
+                   1e12 * 120000 / 1.705);
+}
+
+} // namespace
