@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_run.dir/mlmd_run.cpp.o"
+  "CMakeFiles/mlmd_run.dir/mlmd_run.cpp.o.d"
+  "mlmd_run"
+  "mlmd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_legato.dir/bench_ablation_legato.cpp.o"
+  "CMakeFiles/bench_ablation_legato.dir/bench_ablation_legato.cpp.o.d"
+  "bench_ablation_legato"
+  "bench_ablation_legato.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_legato.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_kinprop.dir/bench_table3_kinprop.cpp.o"
+  "CMakeFiles/bench_table3_kinprop.dir/bench_table3_kinprop.cpp.o.d"
+  "bench_table3_kinprop"
+  "bench_table3_kinprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kinprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absorption_spectrum.dir/absorption_spectrum.cpp.o"
+  "CMakeFiles/absorption_spectrum.dir/absorption_spectrum.cpp.o.d"
+  "absorption_spectrum"
+  "absorption_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absorption_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

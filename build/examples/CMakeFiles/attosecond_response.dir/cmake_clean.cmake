@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attosecond_response.dir/attosecond_response.cpp.o"
+  "CMakeFiles/attosecond_response.dir/attosecond_response.cpp.o.d"
+  "attosecond_response"
+  "attosecond_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attosecond_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_scf_demo.dir/dc_scf_demo.cpp.o"
+  "CMakeFiles/dc_scf_demo.dir/dc_scf_demo.cpp.o.d"
+  "dc_scf_demo"
+  "dc_scf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_scf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnqmd_md.dir/nnqmd_md.cpp.o"
+  "CMakeFiles/nnqmd_md.dir/nnqmd_md.cpp.o.d"
+  "nnqmd_md"
+  "nnqmd_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnqmd_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

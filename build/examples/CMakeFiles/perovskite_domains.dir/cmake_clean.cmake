@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perovskite_domains.dir/perovskite_domains.cpp.o"
+  "CMakeFiles/perovskite_domains.dir/perovskite_domains.cpp.o.d"
+  "perovskite_domains"
+  "perovskite_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perovskite_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrmion_switching.dir/skyrmion_switching.cpp.o"
+  "CMakeFiles/skyrmion_switching.dir/skyrmion_switching.cpp.o.d"
+  "skyrmion_switching"
+  "skyrmion_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrmion_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_allegro.cpp" "examples/CMakeFiles/train_allegro.dir/train_allegro.cpp.o" "gcc" "examples/CMakeFiles/train_allegro.dir/train_allegro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_nnq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_ferro.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

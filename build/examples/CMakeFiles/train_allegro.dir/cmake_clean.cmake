@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_allegro.dir/train_allegro.cpp.o"
+  "CMakeFiles/train_allegro.dir/train_allegro.cpp.o.d"
+  "train_allegro"
+  "train_allegro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_allegro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

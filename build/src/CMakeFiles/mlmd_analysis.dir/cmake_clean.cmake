@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_analysis.dir/analysis/rdf.cpp.o"
+  "CMakeFiles/mlmd_analysis.dir/analysis/rdf.cpp.o.d"
+  "CMakeFiles/mlmd_analysis.dir/analysis/spectrum.cpp.o"
+  "CMakeFiles/mlmd_analysis.dir/analysis/spectrum.cpp.o.d"
+  "CMakeFiles/mlmd_analysis.dir/analysis/structure_factor.cpp.o"
+  "CMakeFiles/mlmd_analysis.dir/analysis/structure_factor.cpp.o.d"
+  "libmlmd_analysis.a"
+  "libmlmd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

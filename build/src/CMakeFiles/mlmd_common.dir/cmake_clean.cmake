@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_common.dir/common/device.cpp.o"
+  "CMakeFiles/mlmd_common.dir/common/device.cpp.o.d"
+  "CMakeFiles/mlmd_common.dir/common/log.cpp.o"
+  "CMakeFiles/mlmd_common.dir/common/log.cpp.o.d"
+  "libmlmd_common.a"
+  "libmlmd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_ferro.dir/ferro/io.cpp.o"
+  "CMakeFiles/mlmd_ferro.dir/ferro/io.cpp.o.d"
+  "CMakeFiles/mlmd_ferro.dir/ferro/lattice.cpp.o"
+  "CMakeFiles/mlmd_ferro.dir/ferro/lattice.cpp.o.d"
+  "libmlmd_ferro.a"
+  "libmlmd_ferro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_ferro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

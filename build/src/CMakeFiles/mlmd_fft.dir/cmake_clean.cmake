@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_fft.dir/fft/fft.cpp.o"
+  "CMakeFiles/mlmd_fft.dir/fft/fft.cpp.o.d"
+  "libmlmd_fft.a"
+  "libmlmd_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

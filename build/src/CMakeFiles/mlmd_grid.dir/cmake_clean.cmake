@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_grid.dir/grid/decomposition.cpp.o"
+  "CMakeFiles/mlmd_grid.dir/grid/decomposition.cpp.o.d"
+  "libmlmd_grid.a"
+  "libmlmd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

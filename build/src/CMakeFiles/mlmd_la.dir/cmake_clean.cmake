@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_la.dir/la/eig.cpp.o"
+  "CMakeFiles/mlmd_la.dir/la/eig.cpp.o.d"
+  "CMakeFiles/mlmd_la.dir/la/gemm.cpp.o"
+  "CMakeFiles/mlmd_la.dir/la/gemm.cpp.o.d"
+  "CMakeFiles/mlmd_la.dir/la/ortho.cpp.o"
+  "CMakeFiles/mlmd_la.dir/la/ortho.cpp.o.d"
+  "libmlmd_la.a"
+  "libmlmd_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

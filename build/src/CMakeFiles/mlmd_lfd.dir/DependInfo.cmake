@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfd/band_decomp.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/band_decomp.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/band_decomp.cpp.o.d"
+  "/root/repo/src/lfd/band_domain.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/band_domain.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/band_domain.cpp.o.d"
+  "/root/repo/src/lfd/density.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/density.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/density.cpp.o.d"
+  "/root/repo/src/lfd/domain.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/domain.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/domain.cpp.o.d"
+  "/root/repo/src/lfd/dsa.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/dsa.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/dsa.cpp.o.d"
+  "/root/repo/src/lfd/fermi.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/fermi.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/fermi.cpp.o.d"
+  "/root/repo/src/lfd/hamiltonian.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/hamiltonian.cpp.o.d"
+  "/root/repo/src/lfd/io.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/io.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/io.cpp.o.d"
+  "/root/repo/src/lfd/kin_prop.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/kin_prop.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/kin_prop.cpp.o.d"
+  "/root/repo/src/lfd/nlp_prop.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/nlp_prop.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/nlp_prop.cpp.o.d"
+  "/root/repo/src/lfd/propagator.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/propagator.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/propagator.cpp.o.d"
+  "/root/repo/src/lfd/vloc.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/vloc.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/vloc.cpp.o.d"
+  "/root/repo/src/lfd/wavefunction.cpp" "src/CMakeFiles/mlmd_lfd.dir/lfd/wavefunction.cpp.o" "gcc" "src/CMakeFiles/mlmd_lfd.dir/lfd/wavefunction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

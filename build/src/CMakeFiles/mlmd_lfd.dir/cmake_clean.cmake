@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_lfd.dir/lfd/band_decomp.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/band_decomp.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/band_domain.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/band_domain.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/density.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/density.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/domain.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/domain.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/dsa.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/dsa.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/fermi.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/fermi.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/hamiltonian.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/hamiltonian.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/io.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/io.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/kin_prop.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/kin_prop.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/nlp_prop.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/nlp_prop.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/propagator.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/propagator.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/vloc.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/vloc.cpp.o.d"
+  "CMakeFiles/mlmd_lfd.dir/lfd/wavefunction.cpp.o"
+  "CMakeFiles/mlmd_lfd.dir/lfd/wavefunction.cpp.o.d"
+  "libmlmd_lfd.a"
+  "libmlmd_lfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_lfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_maxwell.dir/maxwell/maxwell1d.cpp.o"
+  "CMakeFiles/mlmd_maxwell.dir/maxwell/maxwell1d.cpp.o.d"
+  "CMakeFiles/mlmd_maxwell.dir/maxwell/maxwell3d.cpp.o"
+  "CMakeFiles/mlmd_maxwell.dir/maxwell/maxwell3d.cpp.o.d"
+  "libmlmd_maxwell.a"
+  "libmlmd_maxwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_maxwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/baseline.cpp" "src/CMakeFiles/mlmd_mesh.dir/mesh/baseline.cpp.o" "gcc" "src/CMakeFiles/mlmd_mesh.dir/mesh/baseline.cpp.o.d"
+  "/root/repo/src/mesh/dcmesh.cpp" "src/CMakeFiles/mlmd_mesh.dir/mesh/dcmesh.cpp.o" "gcc" "src/CMakeFiles/mlmd_mesh.dir/mesh/dcmesh.cpp.o.d"
+  "/root/repo/src/mesh/global_potential.cpp" "src/CMakeFiles/mlmd_mesh.dir/mesh/global_potential.cpp.o" "gcc" "src/CMakeFiles/mlmd_mesh.dir/mesh/global_potential.cpp.o.d"
+  "/root/repo/src/mesh/multidomain.cpp" "src/CMakeFiles/mlmd_mesh.dir/mesh/multidomain.cpp.o" "gcc" "src/CMakeFiles/mlmd_mesh.dir/mesh/multidomain.cpp.o.d"
+  "/root/repo/src/mesh/recorder.cpp" "src/CMakeFiles/mlmd_mesh.dir/mesh/recorder.cpp.o" "gcc" "src/CMakeFiles/mlmd_mesh.dir/mesh/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_maxwell.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_mesh.dir/mesh/baseline.cpp.o"
+  "CMakeFiles/mlmd_mesh.dir/mesh/baseline.cpp.o.d"
+  "CMakeFiles/mlmd_mesh.dir/mesh/dcmesh.cpp.o"
+  "CMakeFiles/mlmd_mesh.dir/mesh/dcmesh.cpp.o.d"
+  "CMakeFiles/mlmd_mesh.dir/mesh/global_potential.cpp.o"
+  "CMakeFiles/mlmd_mesh.dir/mesh/global_potential.cpp.o.d"
+  "CMakeFiles/mlmd_mesh.dir/mesh/multidomain.cpp.o"
+  "CMakeFiles/mlmd_mesh.dir/mesh/multidomain.cpp.o.d"
+  "CMakeFiles/mlmd_mesh.dir/mesh/recorder.cpp.o"
+  "CMakeFiles/mlmd_mesh.dir/mesh/recorder.cpp.o.d"
+  "libmlmd_mesh.a"
+  "libmlmd_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_mg.dir/mg/multigrid.cpp.o"
+  "CMakeFiles/mlmd_mg.dir/mg/multigrid.cpp.o.d"
+  "libmlmd_mg.a"
+  "libmlmd_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

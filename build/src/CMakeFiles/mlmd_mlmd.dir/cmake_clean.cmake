@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_mlmd.dir/mlmd/pipeline.cpp.o"
+  "CMakeFiles/mlmd_mlmd.dir/mlmd/pipeline.cpp.o.d"
+  "libmlmd_mlmd.a"
+  "libmlmd_mlmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_mlmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nnq/allegro.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/allegro.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/allegro.cpp.o.d"
+  "/root/repo/src/nnq/angular.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/angular.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/angular.cpp.o.d"
+  "/root/repo/src/nnq/descriptor.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/descriptor.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/descriptor.cpp.o.d"
+  "/root/repo/src/nnq/fidelity.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/fidelity.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/fidelity.cpp.o.d"
+  "/root/repo/src/nnq/md_driver.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/md_driver.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/md_driver.cpp.o.d"
+  "/root/repo/src/nnq/mlp.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/mlp.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/mlp.cpp.o.d"
+  "/root/repo/src/nnq/optimizer.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/optimizer.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/optimizer.cpp.o.d"
+  "/root/repo/src/nnq/qmmm.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/qmmm.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/qmmm.cpp.o.d"
+  "/root/repo/src/nnq/train.cpp" "src/CMakeFiles/mlmd_nnq.dir/nnq/train.cpp.o" "gcc" "src/CMakeFiles/mlmd_nnq.dir/nnq/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_qxmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_ferro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_nnq.dir/nnq/allegro.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/allegro.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/angular.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/angular.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/descriptor.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/descriptor.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/fidelity.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/fidelity.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/md_driver.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/md_driver.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/mlp.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/mlp.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/optimizer.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/optimizer.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/qmmm.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/qmmm.cpp.o.d"
+  "CMakeFiles/mlmd_nnq.dir/nnq/train.cpp.o"
+  "CMakeFiles/mlmd_nnq.dir/nnq/train.cpp.o.d"
+  "libmlmd_nnq.a"
+  "libmlmd_nnq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_nnq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlmd_nnq.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_par.dir/par/simcomm.cpp.o"
+  "CMakeFiles/mlmd_par.dir/par/simcomm.cpp.o.d"
+  "libmlmd_par.a"
+  "libmlmd_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

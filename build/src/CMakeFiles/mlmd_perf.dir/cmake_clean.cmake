@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_perf.dir/perf/machine.cpp.o"
+  "CMakeFiles/mlmd_perf.dir/perf/machine.cpp.o.d"
+  "libmlmd_perf.a"
+  "libmlmd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qxmd/atoms.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/atoms.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/atoms.cpp.o.d"
+  "/root/repo/src/qxmd/neighbor.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/neighbor.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/neighbor.cpp.o.d"
+  "/root/repo/src/qxmd/pair_potential.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/pair_potential.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/pair_potential.cpp.o.d"
+  "/root/repo/src/qxmd/structures.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/structures.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/structures.cpp.o.d"
+  "/root/repo/src/qxmd/surface_hopping.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/surface_hopping.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/surface_hopping.cpp.o.d"
+  "/root/repo/src/qxmd/three_body.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/three_body.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/three_body.cpp.o.d"
+  "/root/repo/src/qxmd/verlet.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/verlet.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/verlet.cpp.o.d"
+  "/root/repo/src/qxmd/xyz.cpp" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/xyz.cpp.o" "gcc" "src/CMakeFiles/mlmd_qxmd.dir/qxmd/xyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

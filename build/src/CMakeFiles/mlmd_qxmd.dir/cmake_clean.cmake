@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/atoms.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/atoms.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/neighbor.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/neighbor.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/pair_potential.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/pair_potential.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/structures.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/structures.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/surface_hopping.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/surface_hopping.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/three_body.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/three_body.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/verlet.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/verlet.cpp.o.d"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/xyz.cpp.o"
+  "CMakeFiles/mlmd_qxmd.dir/qxmd/xyz.cpp.o.d"
+  "libmlmd_qxmd.a"
+  "libmlmd_qxmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_qxmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_scf.dir/scf/dc_scf.cpp.o"
+  "CMakeFiles/mlmd_scf.dir/scf/dc_scf.cpp.o.d"
+  "libmlmd_scf.a"
+  "libmlmd_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlmd_topo.dir/topo/polarization.cpp.o"
+  "CMakeFiles/mlmd_topo.dir/topo/polarization.cpp.o.d"
+  "CMakeFiles/mlmd_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/mlmd_topo.dir/topo/topology.cpp.o.d"
+  "libmlmd_topo.a"
+  "libmlmd_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlmd_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

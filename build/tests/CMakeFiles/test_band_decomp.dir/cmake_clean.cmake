@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_band_decomp.dir/test_band_decomp.cpp.o"
+  "CMakeFiles/test_band_decomp.dir/test_band_decomp.cpp.o.d"
+  "test_band_decomp"
+  "test_band_decomp.pdb"
+  "test_band_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_band_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions5.dir/test_extensions5.cpp.o"
+  "CMakeFiles/test_extensions5.dir/test_extensions5.cpp.o.d"
+  "test_extensions5"
+  "test_extensions5.pdb"
+  "test_extensions5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

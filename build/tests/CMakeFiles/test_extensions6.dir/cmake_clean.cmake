@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions6.dir/test_extensions6.cpp.o"
+  "CMakeFiles/test_extensions6.dir/test_extensions6.cpp.o.d"
+  "test_extensions6"
+  "test_extensions6.pdb"
+  "test_extensions6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ferro.dir/test_ferro.cpp.o"
+  "CMakeFiles/test_ferro.dir/test_ferro.cpp.o.d"
+  "test_ferro"
+  "test_ferro.pdb"
+  "test_ferro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ferro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

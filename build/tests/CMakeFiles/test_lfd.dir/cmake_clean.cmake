@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfd.dir/test_lfd.cpp.o"
+  "CMakeFiles/test_lfd.dir/test_lfd.cpp.o.d"
+  "test_lfd"
+  "test_lfd.pdb"
+  "test_lfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

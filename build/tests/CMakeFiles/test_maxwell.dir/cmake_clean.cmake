@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxwell.dir/test_maxwell.cpp.o"
+  "CMakeFiles/test_maxwell.dir/test_maxwell.cpp.o.d"
+  "test_maxwell"
+  "test_maxwell.pdb"
+  "test_maxwell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

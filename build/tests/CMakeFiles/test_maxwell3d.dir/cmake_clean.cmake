@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxwell3d.dir/test_maxwell3d.cpp.o"
+  "CMakeFiles/test_maxwell3d.dir/test_maxwell3d.cpp.o.d"
+  "test_maxwell3d"
+  "test_maxwell3d.pdb"
+  "test_maxwell3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxwell3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

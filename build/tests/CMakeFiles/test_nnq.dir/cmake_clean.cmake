@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nnq.dir/test_nnq.cpp.o"
+  "CMakeFiles/test_nnq.dir/test_nnq.cpp.o.d"
+  "test_nnq"
+  "test_nnq.pdb"
+  "test_nnq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nnq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

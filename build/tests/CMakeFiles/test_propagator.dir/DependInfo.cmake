@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_propagator.cpp" "tests/CMakeFiles/test_propagator.dir/test_propagator.cpp.o" "gcc" "tests/CMakeFiles/test_propagator.dir/test_propagator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlmd_lfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

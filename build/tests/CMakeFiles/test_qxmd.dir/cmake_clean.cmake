@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qxmd.dir/test_qxmd.cpp.o"
+  "CMakeFiles/test_qxmd.dir/test_qxmd.cpp.o.d"
+  "test_qxmd"
+  "test_qxmd.pdb"
+  "test_qxmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qxmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
