@@ -22,6 +22,7 @@
 #include "mlmd/mesh/dcmesh.hpp"
 #include "mlmd/mlmd/pipeline.hpp"
 #include "mlmd/nnq/md_driver.hpp"
+#include "mlmd/par/thread_pool.hpp"
 #include "mlmd/scf/dc_scf.hpp"
 
 namespace {
@@ -159,7 +160,10 @@ int run_nnqmd_cmd(const Cli& cli) {
 
 void usage() {
   std::puts(
-      "usage: mlmd_run <pipeline|mesh|scf|spectrum|nnqmd> [--key=value ...]");
+      "usage: mlmd_run <pipeline|mesh|scf|spectrum|nnqmd> [--key=value ...]\n"
+      "global options:\n"
+      "  --threads=N   intra-node ThreadPool size (default: MLMD_NUM_THREADS\n"
+      "                or hardware concurrency; 1 = deterministic serial)");
 }
 
 } // namespace
@@ -171,6 +175,9 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Cli cli(argc, argv);
+  if (cli.has("threads"))
+    par::ThreadPool::set_global_threads(
+        static_cast<int>(cli.integer("threads", 0)));
   if (cmd == "pipeline") return run_pipeline_cmd(cli);
   if (cmd == "mesh") return run_mesh_cmd(cli);
   if (cmd == "scf") return run_scf_cmd(cli);

@@ -10,6 +10,11 @@
 //
 // Default problem is scaled down (--norb=256, n=16) so the default run
 // finishes in seconds; pass --paper for 1,024 orbitals on 24^3.
+//
+// A second section reports intra-node ThreadPool scaling: each pooled
+// kernel timed serial (threads=1) vs pooled (threads=N, from --threads=N
+// or MLMD_NUM_THREADS or the hardware default). On a single-core host the
+// pool collapses to the serial fallback and speedups print ~1.0.
 
 #include <cstdio>
 
@@ -19,6 +24,8 @@
 #include "mlmd/la/gemm.hpp"
 #include "mlmd/lfd/kin_prop.hpp"
 #include "mlmd/lfd/nlp_prop.hpp"
+#include "mlmd/maxwell/maxwell3d.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace {
 
@@ -52,6 +59,10 @@ int main(int argc, char** argv) {
   using namespace mlmd;
   using cf = std::complex<float>;
   Cli cli(argc, argv);
+  if (cli.has("threads"))
+    par::ThreadPool::set_global_threads(
+        static_cast<int>(cli.integer("threads", 0)));
+  const int nthr = par::num_threads();
   const bool paper = cli.flag("paper");
   const std::size_t norb =
       paper ? 1024 : static_cast<std::size_t>(cli.integer("norb", 256));
@@ -112,5 +123,33 @@ int main(int argc, char** argv) {
   // Note: n_grid=%zu keeps CGEMM(2)'s k=norb vs CGEMM(1)'s k=n_grid split
   // visible, as in the paper's two row-column combinations.
   (void)ngrid;
+
+  // ---- intra-node ThreadPool scaling: serial vs pool --------------------
+  std::printf("\n# ThreadPool scaling: threads=1 (serial fallback) vs "
+              "threads=%d\n", nthr);
+  std::printf("%-14s %-12s %-12s %-10s\n", "Kernel", "serial[s]", "pool[s]",
+              "speedup");
+  auto scaling_row = [&](const char* name, auto&& fn) {
+    par::ThreadPool::set_global_threads(1);
+    const auto s = measure(fn, reps);
+    par::ThreadPool::set_global_threads(nthr);
+    const auto p = measure(fn, reps);
+    std::printf("%-14s %-12.5f %-12.5f %-10.2f\n", name, s.seconds, p.seconds,
+                p.seconds > 0.0 ? s.seconds / p.seconds : 0.0);
+  };
+  scaling_row("SGEMM-512", [&] {
+    la::gemm(la::Trans::kN, la::Trans::kN, 1.0f, pa, pb, 0.0f, pc);
+  });
+  scaling_row("CGEMM(2)", [&] {
+    la::gemm(la::Trans::kN, la::Trans::kN, cf(0.01f, 0.0f), psi0, s, one,
+             w.psi);
+  });
+  scaling_row("kin_prop", [&] { lfd::kin_prop(w, kp); });
+  const std::size_t mxn = paper ? 64 : 32;
+  maxwell::Maxwell3D em(mxn, mxn, mxn, 1.0, 2e-3);
+  em.seed_plane_wave(2, 0.1);
+  scaling_row("maxwell3d", [&] {
+    for (int i = 0; i < 10; ++i) em.step();
+  });
   return 0;
 }

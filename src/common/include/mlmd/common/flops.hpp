@@ -7,6 +7,12 @@
 // per-thread-aggregated counter around a timed region. Counting is
 // always-on but costs one relaxed atomic add per kernel call (counts are
 // accumulated in bulk, never per scalar operation).
+//
+// Thread-safety contract (DESIGN.md Sec. 7): the counter is a single
+// process-global atomic, so add() is safe from SimComm rank threads and
+// ThreadPool workers alike. Kernels keep contention negligible by adding
+// their whole analytic count once, on the launching thread, before (or
+// after) the parallel region — never from inside per-chunk bodies.
 
 #include <atomic>
 #include <cstdint>

@@ -24,8 +24,14 @@ private:
 };
 
 /// Named accumulating timers, for per-kernel breakdowns
-/// (kin_prop / nlp_prop / hartree / ...). Not thread-safe by design:
-/// each logical rank owns its own TimerSet.
+/// (kin_prop / nlp_prop / hartree / ...).
+///
+/// Thread-safety contract (DESIGN.md Sec. 7): TimerSet is NOT internally
+/// synchronized. Each logical SimComm rank — and each ThreadPool worker
+/// that wants per-thread timings — accumulates into its own private
+/// TimerSet; the owner combines them after the parallel region with
+/// merge(). Sharing one TimerSet across concurrent add() calls is a data
+/// race.
 class TimerSet {
 public:
   /// Accumulate `seconds` under `name`.
@@ -33,6 +39,17 @@ public:
     auto& e = entries_[name];
     e.seconds += seconds;
     e.calls += 1;
+  }
+
+  /// Fold another TimerSet into this one, summing seconds and call
+  /// counts per entry. This is the documented per-thread merge path:
+  /// workers time into thread-local sets, the owner merges serially.
+  void merge(const TimerSet& other) {
+    for (const auto& [name, e] : other.entries_) {
+      auto& mine = entries_[name];
+      mine.seconds += e.seconds;
+      mine.calls += e.calls;
+    }
   }
   double seconds(const std::string& name) const {
     auto it = entries_.find(name);

@@ -6,6 +6,7 @@
 
 #include "mlmd/common/bf16.hpp"
 #include "mlmd/common/flops.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace mlmd::la {
 namespace {
@@ -95,8 +96,13 @@ void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
     for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
   }
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+  // Macro-tiles of C rows are independent: the pool hands each worker
+  // whole kBlockI row blocks (grain = 1 tile), so writes never overlap
+  // and the result is bit-identical at any thread count.
+  const std::size_t ntiles = (m + kBlockI - 1) / kBlockI;
+  par::parallel_for(0, ntiles, 1, [&](std::size_t t0, std::size_t t1) {
+  for (std::size_t ti = t0; ti < t1; ++ti) {
+    const std::size_t i0 = ti * kBlockI;
     const std::size_t i1 = std::min(i0 + kBlockI, m);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::size_t p1 = std::min(p0 + kBlockK, k);
@@ -127,6 +133,7 @@ void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
       }
     }
   }
+  });
 }
 
 template void gemm<float>(Trans, Trans, float, const Matrix<float>&,
@@ -194,8 +201,10 @@ void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
     for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
   }
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
+  // Rows of C are independent; grain 8 keeps dispatch cost amortized for
+  // the small-m cases the precision benches use.
+  par::parallel_for(0, m, 8, [&](std::size_t r0, std::size_t r1) {
+  for (std::size_t i = r0; i < r1; ++i) {
     float* __restrict__ cr = reinterpret_cast<float*>(c.row(i));
     for (int qa = 0; qa < nc; ++qa) {
       const auto& ap = a_planes[qa];
@@ -216,6 +225,7 @@ void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
       }
     }
   }
+  });
 }
 
 template <class T>

@@ -5,9 +5,24 @@
 
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/units.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace mlmd::lfd {
 namespace {
+
+/// Dispatch body(i0, i1) over [0, n): through the ThreadPool when
+/// Parallel, strictly inline otherwise. The serial rungs of the Table III
+/// optimization ladder (kBaseline/kReordered/kBlocked) must stay
+/// independent of pool configuration so their timings mean what the
+/// table says.
+template <bool Parallel, class Fn>
+inline void for_range(std::size_t n, std::size_t grain, Fn&& body) {
+  if constexpr (Parallel) {
+    par::parallel_for(0, n, grain, body);
+  } else {
+    if (n) body(std::size_t{0}, n);
+  }
+}
 
 /// Per-axis sweep coefficients: the analytic exponential of one 2x2
 /// nearest-neighbour bond block with Peierls phase.
@@ -80,9 +95,12 @@ void sweep(SoAWave<Real>& w, int axis, int parity, const BondCoef<Real>& c,
   const std::size_t norb = w.norb;
   const std::size_t nbonds = geo.n / 2;
 
-#pragma omp parallel for collapse(2) schedule(static) if (Parallel)
-  for (std::size_t bi = 0; bi < nbonds; ++bi) {
-    for (std::size_t i1 = 0; i1 < geo.e1; ++i1) {
+  // Bonds within one parity sweep touch disjoint row pairs, so the
+  // flattened (bond, i1) units can be claimed freely by pool workers.
+  for_range<Parallel>(nbonds * geo.e1, geo.e1, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t bi = w / geo.e1;
+      const std::size_t i1 = w % geo.e1;
       const std::size_t i = 2 * bi + static_cast<std::size_t>(parity);
       const std::size_t j = (i + 1) % geo.n;
       const std::size_t base_u = i * geo.stride + i1 * geo.s1;
@@ -93,7 +111,7 @@ void sweep(SoAWave<Real>& w, int axis, int parity, const BondCoef<Real>& c,
         rotate_rows(u, v, c, s0, s1);
       }
     }
-  }
+  });
 }
 
 /// Uniform phase multiply over the orbital range of one row.
@@ -127,19 +145,22 @@ void fused_sweep_z(SoAWave<Real>& w, const BondCoef<Real>& c, bool with_diag,
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
   const std::size_t nlines = g.nx * g.ny;
-#pragma omp parallel for schedule(static) if (Parallel)
-  for (std::size_t line = 0; line < nlines; ++line) {
-    auto* base = psi + line * g.nz * norb;
-    for (int parity = 0; parity < 2; ++parity) {
-      for (std::size_t i = static_cast<std::size_t>(parity); i < g.nz; i += 2) {
-        const std::size_t j = (i + 1) % g.nz;
-        rotate_rows(base + i * norb, base + j * norb, c, 0, norb);
+  // One z-line per work unit: lines are disjoint, so both parities (and
+  // the fused diagonal phase) stay inside one worker's tile.
+  for_range<Parallel>(nlines, 1, [&](std::size_t l0, std::size_t l1) {
+    for (std::size_t line = l0; line < l1; ++line) {
+      auto* base = psi + line * g.nz * norb;
+      for (int parity = 0; parity < 2; ++parity) {
+        for (std::size_t i = static_cast<std::size_t>(parity); i < g.nz; i += 2) {
+          const std::size_t j = (i + 1) % g.nz;
+          rotate_rows(base + i * norb, base + j * norb, c, 0, norb);
+        }
       }
+      if (with_diag)
+        for (std::size_t i = 0; i < g.nz; ++i)
+          phase_row(base + i * norb, dpr, dpi, 0, norb);
     }
-    if (with_diag)
-      for (std::size_t i = 0; i < g.nz; ++i)
-        phase_row(base + i * norb, dpr, dpi, 0, norb);
-  }
+  });
 }
 
 /// x/y axes: tile the contiguous z index so the (extent-along-axis x
@@ -155,9 +176,12 @@ void fused_sweep_xy(SoAWave<Real>& w, int axis, const BondCoef<Real>& c) {
   tile = std::min(std::max<std::size_t>(tile, 4), geo.e2);
   const std::size_t ntiles = (geo.e2 + tile - 1) / tile;
 
-#pragma omp parallel for collapse(2) schedule(static) if (Parallel)
-  for (std::size_t i1 = 0; i1 < geo.e1; ++i1) {
-    for (std::size_t t = 0; t < ntiles; ++t) {
+  // Flattened (i1, z-tile) units touch disjoint grid rows, one cache
+  // tile per claim.
+  for_range<Parallel>(geo.e1 * ntiles, 1, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t i1 = w / ntiles;
+      const std::size_t t = w % ntiles;
       const std::size_t z0 = t * tile;
       const std::size_t z1 = std::min(z0 + tile, geo.e2);
       for (int parity = 0; parity < 2; ++parity) {
@@ -171,7 +195,7 @@ void fused_sweep_xy(SoAWave<Real>& w, int axis, const BondCoef<Real>& c) {
         }
       }
     }
-  }
+  });
 }
 
 /// Global diagonal kinetic phase exp(-i dt sum_axis 1/h^2) over the
@@ -184,15 +208,16 @@ void diag_phase_impl(SoAWave<Real>& w, double dt, std::size_t s0, std::size_t s1
   const Real pi = static_cast<Real>(-std::sin(dt * d));
   auto* psi = w.psi.data();
   const std::size_t ng = w.grid.size(), norb = w.norb;
-#pragma omp parallel for schedule(static) if (Parallel)
-  for (std::size_t g = 0; g < ng; ++g) {
-    auto* row = psi + g * norb;
+  for_range<Parallel>(ng, 256, [&](std::size_t g0, std::size_t g1) {
+    for (std::size_t g = g0; g < g1; ++g) {
+      auto* row = psi + g * norb;
 #pragma omp simd
-    for (std::size_t s = s0; s < s1; ++s) {
-      const Real r = row[s].real(), im = row[s].imag();
-      row[s] = {pr * r - pi * im, pr * im + pi * r};
+      for (std::size_t s = s0; s < s1; ++s) {
+        const Real r = row[s].real(), im = row[s].imag();
+        row[s] = {pr * r - pi * im, pr * im + pi * r};
+      }
     }
-  }
+  });
 }
 
 } // namespace

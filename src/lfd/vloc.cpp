@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "mlmd/common/flops.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace mlmd::lfd {
 namespace {
@@ -19,9 +20,12 @@ std::vector<double> ionic_potential(const grid::Grid3& g,
                                     const std::vector<Ion>& ions) {
   std::vector<double> v(g.size(), 0.0);
   flops::add(14ull * g.size() * ions.size());
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::size_t x = 0; x < g.nx; ++x) {
-    for (std::size_t y = 0; y < g.ny; ++y) {
+  // Each flattened (x, y) column writes its own z-run of v; the exp-heavy
+  // inner loop makes one column ample work per claim.
+  par::parallel_for(0, g.nx * g.ny, 1, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t x = w / g.ny;
+      const std::size_t y = w % g.ny;
       for (std::size_t z = 0; z < g.nz; ++z) {
         double acc = 0.0;
         const double px = x * g.hx, py = y * g.hy, pz = z * g.hz;
@@ -35,7 +39,7 @@ std::vector<double> ionic_potential(const grid::Grid3& g,
         v[g.index(x, y, z)] = acc;
       }
     }
-  }
+  });
   return v;
 }
 
@@ -104,18 +108,20 @@ void vloc_prop(SoAWave<Real>& w, const std::vector<double>& v, double dt) {
   flops::add((8ull * w.norb + 20ull) * w.grid.size());
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
-#pragma omp parallel for schedule(static)
-  for (std::size_t g = 0; g < v.size(); ++g) {
-    const double ang = -dt * v[g];
-    const Real pr = static_cast<Real>(std::cos(ang));
-    const Real pi = static_cast<Real>(std::sin(ang));
-    auto* row = psi + g * norb;
+  // Batched orbital update: each grid row (norb orbitals) is disjoint.
+  par::parallel_for(0, v.size(), 256, [&](std::size_t g0, std::size_t g1) {
+    for (std::size_t g = g0; g < g1; ++g) {
+      const double ang = -dt * v[g];
+      const Real pr = static_cast<Real>(std::cos(ang));
+      const Real pi = static_cast<Real>(std::sin(ang));
+      auto* row = psi + g * norb;
 #pragma omp simd
-    for (std::size_t s = 0; s < norb; ++s) {
-      const Real r = row[s].real(), im = row[s].imag();
-      row[s] = {pr * r - pi * im, pr * im + pi * r};
+      for (std::size_t s = 0; s < norb; ++s) {
+        const Real r = row[s].real(), im = row[s].imag();
+        row[s] = {pr * r - pi * im, pr * im + pi * r};
+      }
     }
-  }
+  });
 }
 
 template <class Real>

@@ -1,11 +1,13 @@
 #include "mlmd/maxwell/maxwell3d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/units.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace mlmd::maxwell {
 
@@ -35,9 +37,14 @@ void Maxwell3D::step(const std::vector<double>& j) {
   const auto& bx = b_[0];
   const auto& by = b_[1];
   const auto& bz = b_[2];
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::size_t x = 0; x < nx_; ++x) {
-    for (std::size_t y = 0; y < ny_; ++y) {
+  // E reads only B (staggered half step), so every cell update is
+  // independent: sweep flattened (x, y) pencils through the pool. The
+  // grain keeps one claim at >= ~2k cells for short z extents.
+  const std::size_t pencil_grain = std::max<std::size_t>(1, 2048 / nz_);
+  par::parallel_for(0, nx_ * ny_, pencil_grain, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t x = w / ny_;
+      const std::size_t y = w % ny_;
       for (std::size_t z = 0; z < nz_; ++z) {
         const std::size_t i = idx(x, y, z);
         // (curl B)_x = dBz/dy - dBy/dz, backward differences on the Yee
@@ -55,15 +62,18 @@ void Maxwell3D::step(const std::vector<double>& j) {
         }
       }
     }
-  }
+  });
 
   // B update from curl E (forward differences).
   auto& bxm = b_[0];
   auto& bym = b_[1];
   auto& bzm = b_[2];
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::size_t x = 0; x < nx_; ++x) {
-    for (std::size_t y = 0; y < ny_; ++y) {
+  // B reads only the freshly advanced E — the barrier at the end of the
+  // E-sweep parallel_for makes that ordering explicit.
+  par::parallel_for(0, nx_ * ny_, pencil_grain, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t x = w / ny_;
+      const std::size_t y = w % ny_;
       for (std::size_t z = 0; z < nz_; ++z) {
         const std::size_t i = idx(x, y, z);
         bxm[i] -= cdtdx * (ez[idx(x, yp(y), z)] - ez[i] -
@@ -74,7 +84,7 @@ void Maxwell3D::step(const std::vector<double>& j) {
                            (ex[idx(x, yp(y), z)] - ex[i]));
       }
     }
-  }
+  });
   t_ += dt_;
 }
 

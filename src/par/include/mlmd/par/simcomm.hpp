@@ -21,6 +21,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mlmd::par {
@@ -53,6 +54,11 @@ public:
   void send(int src, int dst, int tag, std::span<const std::byte> payload);
   std::vector<std::byte> recv(int dst, int src, int tag);
 
+  /// Poison the group: every rank blocked (or about to block) in
+  /// barrier/exchange/recv unwinds with a "SimComm aborted" runtime_error
+  /// instead of waiting forever. Called by run() when any rank throws.
+  void abort(const std::string& reason);
+
   TrafficStats stats() const;
   void reset_stats();
 
@@ -66,18 +72,29 @@ private:
     }
   };
 
+  /// Throws if the group has been poisoned. Caller must hold mu_.
+  void throw_if_aborted_locked() const;
+
   const int nranks_;
 
   std::mutex mu_;
   std::condition_variable cv_;
+
+  // Error poisoning: once set, every blocking entry point throws.
+  bool aborted_ = false;
+  std::string abort_reason_;
 
   // Sense-reversing barrier.
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
   // Collective scratch: contributions keyed by rank, plus a generation
-  // counter so back-to-back collectives do not interfere.
+  // counter so back-to-back collectives do not interfere. deposited_ is
+  // the explicit "this rank's slot is occupied for the current round"
+  // signal — contrib_[r].empty() cannot distinguish a deposited
+  // zero-byte contribution (non-root broadcast) from a free slot.
   std::vector<std::vector<std::byte>> contrib_;
+  std::vector<char> deposited_;
   int contrib_count_ = 0;
   int consumed_count_ = 0;
   std::uint64_t collective_generation_ = 0;

@@ -6,31 +6,56 @@
 namespace mlmd::par {
 namespace detail {
 
-GroupState::GroupState(int nranks) : nranks_(nranks), contrib_(nranks) {
+GroupState::GroupState(int nranks)
+    : nranks_(nranks), contrib_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)),
+      deposited_(static_cast<std::size_t>(nranks > 0 ? nranks : 0), 0) {
   if (nranks <= 0) throw std::invalid_argument("SimComm: nranks must be > 0");
+}
+
+void GroupState::throw_if_aborted_locked() const {
+  if (aborted_)
+    throw std::runtime_error("SimComm aborted: " + abort_reason_);
+}
+
+void GroupState::abort(const std::string& reason) {
+  {
+    std::lock_guard lk(mu_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = reason;
+    }
+  }
+  cv_.notify_all();
 }
 
 void GroupState::barrier() {
   std::unique_lock lk(mu_);
+  throw_if_aborted_locked();
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_arrived_ == nranks_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lk, [&] { return barrier_generation_ != gen; });
+    cv_.wait(lk, [&] { return aborted_ || barrier_generation_ != gen; });
+    throw_if_aborted_locked();
   }
 }
 
 std::vector<std::byte> GroupState::exchange(int rank,
                                             std::span<const std::byte> contrib,
                                             int root, bool to_all) {
+  const auto r = static_cast<std::size_t>(rank);
   std::unique_lock lk(mu_);
-  // Wait until the previous collective has been fully consumed.
-  cv_.wait(lk, [&] { return contrib_[rank].empty() && contrib_count_ < nranks_; });
+  throw_if_aborted_locked();
+  // Wait until this rank's slot from the previous collective has been
+  // released (all ranks consumed it). deposited_ is the explicit signal;
+  // a zero-byte contribution occupies the slot exactly like any other.
+  cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
+  throw_if_aborted_locked();
 
-  contrib_[rank].assign(contrib.begin(), contrib.end());
-  // Deposited-but-empty contributions still count: mark with count only.
+  deposited_[r] = 1;
+  contrib_[r].assign(contrib.begin(), contrib.end());
   const std::uint64_t gen = collective_generation_;
   if (++contrib_count_ == nranks_) {
     assembled_.clear();
@@ -41,7 +66,8 @@ std::vector<std::byte> GroupState::exchange(int rank,
     ++collective_generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lk, [&] { return collective_generation_ != gen; });
+    cv_.wait(lk, [&] { return aborted_ || collective_generation_ != gen; });
+    throw_if_aborted_locked();
   }
 
   std::vector<std::byte> result;
@@ -55,6 +81,7 @@ std::vector<std::byte> GroupState::exchange(int rank,
 
   if (++consumed_count_ == nranks_) {
     for (auto& c : contrib_) c.clear();
+    for (auto& d : deposited_) d = 0;
     contrib_count_ = 0;
     cv_.notify_all(); // wake ranks waiting to start the next collective
   }
@@ -63,8 +90,12 @@ std::vector<std::byte> GroupState::exchange(int rank,
 
 void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payload) {
   if (dst < 0 || dst >= nranks_) throw std::out_of_range("SimComm::send: bad rank");
+  if (dst == src)
+    throw std::invalid_argument(
+        "SimComm::send: self-send can never match a blocking peer recv");
   {
     std::lock_guard lk(mu_);
+    throw_if_aborted_locked();
     mailboxes_[{src, dst, tag}].emplace_back(payload.begin(), payload.end());
   }
   {
@@ -76,12 +107,21 @@ void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payl
 }
 
 std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
+  // Validate eagerly (mirroring send): a bad source rank would otherwise
+  // block forever on a message that can never arrive.
+  if (src < 0 || src >= nranks_) throw std::out_of_range("SimComm::recv: bad rank");
+  if (src == dst)
+    throw std::invalid_argument(
+        "SimComm::recv: self-receive can never match a peer send");
   std::unique_lock lk(mu_);
+  throw_if_aborted_locked();
   const Key key{src, dst, tag};
   cv_.wait(lk, [&] {
+    if (aborted_) return true;
     auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
   });
+  throw_if_aborted_locked();
   auto& queue = mailboxes_[key];
   std::vector<std::byte> payload = std::move(queue.front());
   queue.erase(queue.begin());
@@ -114,8 +154,15 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
       try {
         body(comm);
       } catch (...) {
-        std::lock_guard lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Poison the group so peers blocked in barrier/exchange/recv
+        // unwind instead of hanging join() forever. Ranks that unwind
+        // with the induced "SimComm aborted" error reach this handler
+        // after first_error is already set, so the root cause wins.
+        state->abort("rank " + std::to_string(r) + " threw");
       }
     });
   }

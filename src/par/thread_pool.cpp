@@ -1,0 +1,162 @@
+#include "mlmd/par/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+namespace mlmd::par {
+
+// One launched loop. Workers (and the launcher) claim chunk ids with an
+// atomic fetch-add on `next`; `done` counts finished chunks and drives the
+// launcher's completion wait. Held by shared_ptr so a worker that polls
+// `next` just after the launcher returns never touches freed memory.
+struct ThreadPool::Task {
+  std::function<void(std::size_t)> chunk;
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+};
+
+namespace {
+// Set while this thread executes inside a pool task: nested launches from
+// kernel bodies fall back to inline serial execution.
+thread_local bool tl_in_task = false;
+} // namespace
+
+ThreadPool::ThreadPool(int nthreads) {
+  if (nthreads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    nthreads = hw ? static_cast<int>(hw) : 1;
+  }
+  nthreads_ = nthreads;
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int i = 0; i < nthreads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Task> t;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      t = current_;
+    }
+    if (t) work_on(t);
+  }
+}
+
+void ThreadPool::work_on(const std::shared_ptr<Task>& t) {
+  const bool was_in_task = tl_in_task;
+  tl_in_task = true;
+  while (true) {
+    const std::size_t c = t->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= t->nchunks) break;
+    if (!t->cancelled.load(std::memory_order_relaxed)) {
+      try {
+        t->chunk(c);
+      } catch (...) {
+        {
+          std::lock_guard lk(t->err_mu);
+          if (!t->error) t->error = std::current_exception();
+        }
+        t->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    // Last finished chunk wakes the launcher. Notify under mu_ so the
+    // launcher cannot miss the wakeup between its predicate check and
+    // going to sleep.
+    if (t->done.fetch_add(1, std::memory_order_acq_rel) + 1 == t->nchunks) {
+      std::lock_guard lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tl_in_task = was_in_task;
+}
+
+void ThreadPool::run_chunks(std::size_t nchunks,
+                            const std::function<void(std::size_t)>& chunk) {
+  if (nchunks == 0) return;
+  // Serial fallback: one thread, a single chunk, or a nested launch from
+  // inside a pool task. Chunks run inline, in ascending order; exceptions
+  // propagate directly.
+  if (nthreads_ == 1 || nchunks == 1 || tl_in_task) {
+    for (std::size_t c = 0; c < nchunks; ++c) chunk(c);
+    return;
+  }
+
+  std::lock_guard launch(launch_mu_);
+  auto t = std::make_shared<Task>();
+  t->nchunks = nchunks;
+  t->chunk = chunk;
+  {
+    std::lock_guard lk(mu_);
+    current_ = t;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  work_on(t); // the launcher participates
+  {
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return t->done.load(std::memory_order_acquire) == t->nchunks;
+    });
+    current_.reset();
+  }
+  if (t->error) std::rethrow_exception(t->error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t cs = grain ? grain : 1;
+  const std::size_t nchunks = (end - begin + cs - 1) / cs;
+  run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t i0 = begin + c * cs;
+    const std::size_t i1 = i0 + cs < end ? i0 + cs : end;
+    body(i0, i1);
+  });
+}
+
+int ThreadPool::parse_env_threads(const char* value) {
+  if (!value || !*value) return 0;
+  char* endp = nullptr;
+  const long v = std::strtol(value, &endp, 10);
+  if (endp == value || *endp != '\0' || v < 1) return 0;
+  return static_cast<int>(v < 1024 ? v : 1024);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+} // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lk(g_pool_mu);
+  if (!g_pool)
+    g_pool = std::make_unique<ThreadPool>(
+        parse_env_threads(std::getenv("MLMD_NUM_THREADS")));
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(int n) {
+  std::lock_guard lk(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(n);
+}
+
+} // namespace mlmd::par

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mlmd/par/thread_pool.hpp"
+
 namespace mlmd::qxmd {
 
 NeighborList::NeighborList(const Atoms& atoms, double rc) : rc_(rc) {
@@ -20,13 +22,17 @@ NeighborList::NeighborList(const Atoms& atoms, double rc) : rc_(rc) {
   const double rc2 = rc * rc;
 
   if (ncx < 3 || ncy < 3 || ncz < 3) {
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const auto d = box.mic(atoms.pos(i), atoms.pos(j));
-        if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
-          lists_[i].push_back(static_cast<std::uint32_t>(j));
-      }
+    // Each atom's list is private to its index: the pool splits the O(N^2)
+    // scan over i with no shared writes.
+    par::parallel_for(0, n, 16, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const auto d = box.mic(atoms.pos(i), atoms.pos(j));
+          if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
+            lists_[i].push_back(static_cast<std::uint32_t>(j));
+        }
+    });
     return;
   }
 
@@ -46,25 +52,30 @@ NeighborList::NeighborList(const Atoms& atoms, double rc) : rc_(rc) {
     cells[static_cast<std::size_t>(cell_of(atoms.pos(i)))].push_back(
         static_cast<std::uint32_t>(i));
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* pi = atoms.pos(i);
-    int cx = static_cast<int>(pi[0] / box.lx * ncx) % ncx;
-    int cy = static_cast<int>(pi[1] / box.ly * ncy) % ncy;
-    int cz = static_cast<int>(pi[2] / box.lz * ncz) % ncz;
-    for (int dx = -1; dx <= 1; ++dx)
-      for (int dy = -1; dy <= 1; ++dy)
-        for (int dz = -1; dz <= 1; ++dz) {
-          const int nx = ((cx + dx) % ncx + ncx) % ncx;
-          const int ny = ((cy + dy) % ncy + ncy) % ncy;
-          const int nz = ((cz + dz) % ncz + ncz) % ncz;
-          for (std::uint32_t j : cells[static_cast<std::size_t>((nx * ncy + ny) * ncz + nz)]) {
-            if (j == i) continue;
-            const auto d = box.mic(pi, atoms.pos(j));
-            if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
-              lists_[i].push_back(j);
+  // The cell table is read-only from here on; each atom i only appends
+  // to its own lists_[i], so the search loop parallelizes cleanly.
+  par::parallel_for(0, n, 16, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* pi = atoms.pos(i);
+      int cx = static_cast<int>(pi[0] / box.lx * ncx) % ncx;
+      int cy = static_cast<int>(pi[1] / box.ly * ncy) % ncy;
+      int cz = static_cast<int>(pi[2] / box.lz * ncz) % ncz;
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dz = -1; dz <= 1; ++dz) {
+            const int nx = ((cx + dx) % ncx + ncx) % ncx;
+            const int ny = ((cy + dy) % ncy + ncy) % ncy;
+            const int nz = ((cz + dz) % ncz + ncz) % ncz;
+            for (std::uint32_t j :
+                 cells[static_cast<std::size_t>((nx * ncy + ny) * ncz + nz)]) {
+              if (j == i) continue;
+              const auto d = box.mic(pi, atoms.pos(j));
+              if (d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < rc2)
+                lists_[i].push_back(j);
+            }
           }
-        }
-  }
+    }
+  });
 }
 
 std::size_t NeighborList::pair_count() const {
