@@ -1,0 +1,40 @@
+#pragma once
+// Minimal perf-record emitter shared by the Table benches (--json=<path>):
+// writes an array of {kernel, gflops, bytes_alloc, seconds} objects, one
+// per measured kernel. `bytes_alloc` is the number of bytes the Workspace
+// arena reserved during the final (steady-state) repetition — the
+// zero-allocation contract makes this 0 after warm-up, and the JSON trail
+// lets CI catch regressions in either throughput or allocation behavior.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mlmd::benchjson {
+
+struct Record {
+  std::string kernel;
+  double gflops = 0.0;
+  unsigned long long bytes_alloc = 0;
+  double seconds = 0.0;
+};
+
+inline bool write(const std::string& path, const std::vector<Record>& recs) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) return false;
+  std::fprintf(fp, "[\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    std::fprintf(
+        fp,
+        "  {\"kernel\": \"%s\", \"gflops\": %.6g, \"bytes_alloc\": %llu, "
+        "\"seconds\": %.6g}%s\n",
+        r.kernel.c_str(), r.gflops, r.bytes_alloc, r.seconds,
+        i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(fp, "]\n");
+  std::fclose(fp);
+  return true;
+}
+
+} // namespace mlmd::benchjson

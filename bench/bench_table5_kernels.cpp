@@ -16,11 +16,16 @@
 // or MLMD_NUM_THREADS or the hardware default). On a single-core host the
 // pool collapses to the serial fallback and speedups print ~1.0.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "mlmd/common/cli.hpp"
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/timer.hpp"
+#include "mlmd/common/workspace.hpp"
 #include "mlmd/la/gemm.hpp"
 #include "mlmd/lfd/kin_prop.hpp"
 #include "mlmd/lfd/nlp_prop.hpp"
@@ -32,24 +37,32 @@ namespace {
 struct Meas {
   double gflops = 0.0;
   double seconds = 0.0;
+  unsigned long long bytes_alloc = 0; ///< arena growth in the final rep
 };
 
 template <class Fn>
 Meas measure(Fn&& fn, int reps) {
   // Best-of-N: peak-rate measurements take the fastest repetition so a
   // background scheduling hiccup cannot misorder the kernel ranking.
+  // bytes_alloc is taken from the final repetition, when the Workspace
+  // arena is warm — the engine's zero-steady-state-alloc contract makes
+  // it 0 unless something regressed.
   Meas best;
   best.seconds = 1e300;
+  unsigned long long last_delta = 0;
   for (int i = 0; i < reps; ++i) {
+    const auto r0 = mlmd::common::Workspace::total_reserved_bytes();
     mlmd::flops::Scope scope;
     mlmd::Timer t;
     fn();
     const double secs = t.seconds();
+    last_delta = mlmd::common::Workspace::total_reserved_bytes() - r0;
     if (secs < best.seconds) {
       best.seconds = secs;
       best.gflops = static_cast<double>(scope.flops()) / secs / 1e9;
     }
   }
+  best.bytes_alloc = last_delta;
   return best;
 }
 
@@ -117,12 +130,29 @@ int main(int argc, char** argv) {
 
   std::printf("# paper reference (PVC tile): CGEMM 81.4/94.2%%, nlp_prop "
               "69.7%%, kin_prop 15.3%% of peak\n");
-  std::printf("# shape check: GEMM%%>nlp%%>kin%% -> %s\n",
-              (cgemm2.gflops >= nlp.gflops && nlp.gflops > kin.gflops) ? "OK"
-                                                                        : "MIXED");
+  // With the packed engine nlp_prop is GEMM-bound, so it lands within
+  // measurement noise of its constituent CGEMMs; allow 2% slack so run-to-
+  // run frequency jitter cannot flip the verdict.
+  const double gmax = std::max(cgemm1.gflops, cgemm2.gflops);
+  std::printf("# shape check: GEMM%%>=nlp%%>kin%% -> %s\n",
+              (1.02 * gmax >= nlp.gflops && nlp.gflops > kin.gflops) ? "OK"
+                                                                     : "MIXED");
   // Note: n_grid=%zu keeps CGEMM(2)'s k=norb vs CGEMM(1)'s k=n_grid split
   // visible, as in the paper's two row-column combinations.
   (void)ngrid;
+
+  if (cli.has("json")) {
+    const std::vector<benchjson::Record> recs{
+        {"sgemm_peak_512", peak.gflops, peak.bytes_alloc, peak.seconds},
+        {"cgemm1", cgemm1.gflops, cgemm1.bytes_alloc, cgemm1.seconds},
+        {"cgemm2", cgemm2.gflops, cgemm2.bytes_alloc, cgemm2.seconds},
+        {"nlp_prop", nlp.gflops, nlp.bytes_alloc, nlp.seconds},
+        {"kin_prop", kin.gflops, kin.bytes_alloc, kin.seconds},
+    };
+    const std::string path = cli.str("json");
+    if (!benchjson::write(path, recs))
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
 
   // ---- intra-node ThreadPool scaling: serial vs pool --------------------
   std::printf("\n# ThreadPool scaling: threads=1 (serial fallback) vs "

@@ -1,0 +1,100 @@
+#pragma once
+// Thread-local scratch arena for the hot kernels (DESIGN.md §8).
+//
+// The packed-GEMM engine, gemm_mixed's BF16 plane splits, and the batched
+// MLP inference path all need short-lived scratch whose size is known at
+// call time. Allocating it per call (std::vector) puts malloc/free on the
+// Table II/IV/V hot paths; this arena makes every steady-state call
+// allocation-free instead:
+//
+//   * one Workspace per thread (Workspace::local()) — pool workers reuse
+//     theirs across parallel_for launches;
+//   * grow-only: capacity is never returned to the OS while the thread
+//     lives, so after a warm-up call with the largest shapes the arena
+//     never touches the heap again;
+//   * scoped: a Workspace::Frame saves the bump pointer on entry and
+//     restores it on exit, so nested users (Mlp::forward_batch calling
+//     la::gemm) stack their scratch naturally.
+//
+// Allocation counting (Workspace::total_heap_allocs / total_reserved_bytes)
+// is exposed so tests and benches can assert the zero-steady-state-alloc
+// contract instead of trusting it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlmd::common {
+
+class Workspace {
+public:
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena (thread_local singleton).
+  static Workspace& local();
+
+  /// RAII scope: restores the arena's bump pointer on destruction, so all
+  /// get<>() calls made inside the frame are released together. Frames
+  /// nest (strict LIFO).
+  class Frame {
+  public:
+    explicit Frame(Workspace& ws)
+        : ws_(ws), block_(ws.cur_block_), off_(ws.cur_off_) {}
+    ~Frame() {
+      ws_.cur_block_ = block_;
+      ws_.cur_off_ = off_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+  private:
+    Workspace& ws_;
+    std::size_t block_, off_;
+  };
+
+  /// 64-byte-aligned uninitialized storage for `n` objects of type T,
+  /// valid until the enclosing Frame is destroyed. T must be trivially
+  /// destructible (scratch is never destructed, only released in bulk).
+  template <class T>
+  T* get(std::size_t n) {
+    return static_cast<T*>(raw(n * sizeof(T)));
+  }
+
+  /// Bytes currently reserved by this arena across all blocks.
+  std::size_t capacity_bytes() const { return capacity_; }
+
+  /// Process-wide count of heap allocations made by all arenas since
+  /// start. Constant across two identical call sequences == the second
+  /// sequence ran allocation-free.
+  static std::uint64_t total_heap_allocs();
+  /// Process-wide bytes reserved by all arenas since start (grow-only;
+  /// never decremented).
+  static std::uint64_t total_reserved_bytes();
+
+private:
+  struct Block {
+    void* p = nullptr;
+    std::size_t cap = 0;
+  };
+
+  void* raw(std::size_t bytes);
+  void* grow(std::size_t bytes); // slow path: reserve a new block
+
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMinBlock = 1u << 20; // 1 MiB
+
+  // Small fixed-capacity block table: geometric growth means ~40 blocks
+  // cover the address space, so no dynamic vector (which would itself
+  // allocate) is needed.
+  static constexpr std::size_t kMaxBlocks = 48;
+  Block blocks_[kMaxBlocks];
+  std::size_t nblocks_ = 0;
+  std::size_t cur_block_ = 0; // block the bump pointer lives in
+  std::size_t cur_off_ = 0;   // offset within that block
+  std::size_t capacity_ = 0;
+};
+
+} // namespace mlmd::common

@@ -1,0 +1,71 @@
+#include "mlmd/common/workspace.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace mlmd::common {
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<std::uint64_t> g_reserved_bytes{0};
+
+} // namespace
+
+Workspace::~Workspace() {
+  for (std::size_t i = 0; i < nblocks_; ++i) std::free(blocks_[i].p);
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+std::uint64_t Workspace::total_heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Workspace::total_reserved_bytes() {
+  return g_reserved_bytes.load(std::memory_order_relaxed);
+}
+
+void* Workspace::raw(std::size_t bytes) {
+  if (bytes == 0) bytes = kAlign; // distinct non-null pointers for n == 0
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+  // Fast path: bump within the current block.
+  if (cur_block_ < nblocks_ &&
+      cur_off_ + bytes <= blocks_[cur_block_].cap) {
+    void* p = static_cast<char*>(blocks_[cur_block_].p) + cur_off_;
+    cur_off_ += bytes;
+    return p;
+  }
+  // Walk forward to the first later block that fits (skipped space is
+  // reclaimed when the enclosing Frame pops). Blocks are created with
+  // geometrically growing capacity, so this walk is short and, after
+  // warm-up, allocation-free.
+  for (std::size_t b = cur_block_ + 1; b < nblocks_; ++b) {
+    if (bytes <= blocks_[b].cap) {
+      cur_block_ = b;
+      cur_off_ = bytes;
+      return blocks_[b].p;
+    }
+  }
+  return grow(bytes);
+}
+
+void* Workspace::grow(std::size_t bytes) {
+  if (nblocks_ == kMaxBlocks) throw std::bad_alloc();
+  std::size_t cap = kMinBlock;
+  if (nblocks_ > 0) cap = blocks_[nblocks_ - 1].cap * 2;
+  if (cap < bytes) cap = (bytes + kMinBlock - 1) / kMinBlock * kMinBlock;
+  void* p = std::aligned_alloc(kAlign, cap);
+  if (!p) throw std::bad_alloc();
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_reserved_bytes.fetch_add(cap, std::memory_order_relaxed);
+  blocks_[nblocks_] = Block{p, cap};
+  cur_block_ = nblocks_++;
+  cur_off_ = bytes;
+  capacity_ += cap;
+  return p;
+}
+
+} // namespace mlmd::common

@@ -2,14 +2,26 @@
 
 #include <stdexcept>
 #include <type_traits>
-#include <vector>
 
 #include "mlmd/common/bf16.hpp"
 #include "mlmd/common/flops.hpp"
+#include "mlmd/common/workspace.hpp"
 #include "mlmd/par/thread_pool.hpp"
 
 namespace mlmd::la {
 namespace {
+
+template <class T>
+inline constexpr bool is_cplx_v = !std::is_arithmetic_v<T>;
+
+template <class T>
+struct scalar_of {
+  using type = T;
+};
+template <class R>
+struct scalar_of<std::complex<R>> {
+  using type = R;
+};
 
 template <class T>
 T conj_if(T v, bool do_conj) {
@@ -21,13 +33,13 @@ T conj_if(T v, bool do_conj) {
   }
 }
 
-/// Fetch op(A)(i, j) without materializing the transpose.
+/// Fetch op(A)(i, j) from a raw row-major array with leading dimension ld.
 template <class T>
-T op_at(const Matrix<T>& a, Trans t, std::size_t i, std::size_t j) {
+T op_at_raw(const T* a, std::size_t ld, Trans t, std::size_t i, std::size_t j) {
   switch (t) {
-    case Trans::kN: return a(i, j);
-    case Trans::kT: return a(j, i);
-    case Trans::kC: return conj_if(a(j, i), true);
+    case Trans::kN: return a[i * ld + j];
+    case Trans::kT: return a[j * ld + i];
+    case Trans::kC: return conj_if(a[j * ld + i], true);
   }
   return T{};
 }
@@ -41,10 +53,329 @@ std::size_t op_cols(const Matrix<T>& a, Trans t) {
   return t == Trans::kN ? a.cols() : a.rows();
 }
 
-constexpr std::size_t kBlockI = 64; // rows of C per macro-tile
-constexpr std::size_t kBlockK = 128; // reduction depth per pass
+// ---- blocking parameters (DESIGN.md §8) -----------------------------------
+//
+// Macro blocking: row-panels of kMC C rows (one parallel work unit), with
+// the reduction split into kKC-deep passes so one packed B micro-panel
+// (kKC x NR) plus one packed A micro-panel (kMC x kKC) stay cache-resident.
+// Register blocking: an MR x NR accumulator tile held in registers across
+// the whole k-pass. Tile shapes are sized to the 16-register baseline SIMD
+// ISA (SSE2 doubles/floats); with -DMLMD_NATIVE=ON wider vectors simply
+// hold the same tile in fewer registers.
+
+constexpr std::size_t kMC = 64;  // rows of C per macro-tile (work unit)
+constexpr std::size_t kKC = 256; // reduction depth per pass
+
+template <class T>
+struct Tile {
+  static constexpr std::size_t MR = 4, NR = 16; // float
+};
+template <>
+struct Tile<double> {
+  static constexpr std::size_t MR = 4, NR = 8;
+};
+template <class R>
+struct Tile<std::complex<R>> {
+  static constexpr std::size_t MR = 2, NR = 8;
+};
+
+// ---- micro-kernels --------------------------------------------------------
+//
+// Both kernels accumulate each C element in strictly ascending p order with
+// a single accumulator — the register tile — so a C element's reduction is
+// bit-identical to a scalar ascending-k dot product. `#pragma omp simd`
+// vectorizes the contiguous NR direction only; the reduction dimension is
+// never reassociated.
+
+/// acc[MR][NR] += sum_p a[p*MR + i] * b[p*NR + j]  (a, b packed).
+template <class T, std::size_t MR, std::size_t NR>
+void ukern_real(std::size_t kc, const T* __restrict__ ap,
+                const T* __restrict__ bp, T* __restrict__ acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const T* a = ap + p * MR;
+    const T* b = bp + p * NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const T av = a[i];
+      T* c = acc + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+/// Complex micro-kernel on split-real packed panels: a is interleaved
+/// (re,im) per row, b is de-interleaved per p (NR reals then NR imags),
+/// accumulators are separate re/im planes. The manual expansion matches
+/// the `cr += ar*xr - ai*xi` form (std::complex operator* would route
+/// through the scalar, NaN-correct __mul?c3).
+template <class R, std::size_t MR, std::size_t NR>
+void ukern_cplx(std::size_t kc, const R* __restrict__ ap,
+                const R* __restrict__ bp, R* __restrict__ accr,
+                R* __restrict__ acci) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const R* a = ap + p * 2 * MR;
+    const R* br = bp + p * 2 * NR;
+    const R* bi = br + NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const R ar = a[2 * i], ai = a[2 * i + 1];
+      R* cr = accr + i * NR;
+      R* ci = acci + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) {
+        cr[j] += ar * br[j] - ai * bi[j];
+        ci[j] += ar * bi[j] + ai * br[j];
+      }
+    }
+  }
+}
+
+// ---- packing --------------------------------------------------------------
+
+/// Pack one op(B) column micro-panel: columns [j0, j0+NR) (zero-padded),
+/// reduction rows [p0, p0+kc). Real layout: dst[p*NR + jj]. Complex
+/// layout: dst[p*2NR + jj] = re, dst[p*2NR + NR + jj] = im.
+template <class T>
+void pack_b_panel(const T* b, std::size_t ldb, Trans tb, std::size_t p0,
+                  std::size_t kc, std::size_t j0, std::size_t nr,
+                  typename scalar_of<T>::type* dst) {
+  constexpr std::size_t NR = Tile<T>::NR;
+  using R = typename scalar_of<T>::type;
+  if constexpr (std::is_arithmetic_v<T>) {
+    if (tb == Trans::kN) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const T* src = b + (p0 + p) * ldb + j0;
+        T* d = dst + p * NR;
+        for (std::size_t jj = 0; jj < nr; ++jj) d[jj] = src[jj];
+        for (std::size_t jj = nr; jj < NR; ++jj) d[jj] = T{};
+      }
+    } else { // kT (== kC for real): column jj of op(B) is row j0+jj of B
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        const T* src = b + (j0 + jj) * ldb + p0;
+        for (std::size_t p = 0; p < kc; ++p) dst[p * NR + jj] = src[p];
+      }
+      for (std::size_t jj = nr; jj < NR; ++jj)
+        for (std::size_t p = 0; p < kc; ++p) dst[p * NR + jj] = T{};
+    }
+  } else {
+    const R* braw = reinterpret_cast<const R*>(b);
+    if (tb == Trans::kN) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const R* src = braw + 2 * ((p0 + p) * ldb + j0);
+        R* dre = dst + p * 2 * NR;
+        R* dim = dre + NR;
+        for (std::size_t jj = 0; jj < nr; ++jj) {
+          dre[jj] = src[2 * jj];
+          dim[jj] = src[2 * jj + 1];
+        }
+        for (std::size_t jj = nr; jj < NR; ++jj) dre[jj] = dim[jj] = R{};
+      }
+    } else {
+      const R sign = tb == Trans::kC ? R{-1} : R{1};
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        const R* src = braw + 2 * ((j0 + jj) * ldb + p0);
+        for (std::size_t p = 0; p < kc; ++p) {
+          dst[p * 2 * NR + jj] = src[2 * p];
+          dst[p * 2 * NR + NR + jj] = sign * src[2 * p + 1];
+        }
+      }
+      for (std::size_t jj = nr; jj < NR; ++jj)
+        for (std::size_t p = 0; p < kc; ++p)
+          dst[p * 2 * NR + jj] = dst[p * 2 * NR + NR + jj] = R{};
+    }
+  }
+}
+
+/// Pack alpha*op(A) rows [i0, i0+mc) x [p0, p0+kc) into MR-row micro-panels
+/// (zero-padded): panel ib holds rows i0+ib*MR..+MR with layout
+/// dst[ib*kc*MR + p*MR + r] (complex: interleaved re/im, stride 2*MR).
+template <class T>
+void pack_a_panel(const T* a, std::size_t lda, Trans ta, T alpha,
+                  std::size_t i0, std::size_t mc, std::size_t p0,
+                  std::size_t kc, typename scalar_of<T>::type* dst) {
+  constexpr std::size_t MR = Tile<T>::MR;
+  using R = typename scalar_of<T>::type;
+  constexpr std::size_t rpc = is_cplx_v<T> ? 2 : 1;
+  const std::size_t nib = (mc + MR - 1) / MR;
+  for (std::size_t ib = 0; ib < nib; ++ib) {
+    R* panel = dst + ib * kc * MR * rpc;
+    const std::size_t mr = std::min(MR, mc - ib * MR);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t r = 0; r < mr; ++r) {
+        const T v =
+            alpha * op_at_raw(a, lda, ta, i0 + ib * MR + r, p0 + p);
+        if constexpr (std::is_arithmetic_v<T>) {
+          panel[p * MR + r] = v;
+        } else {
+          panel[p * 2 * MR + 2 * r] = v.real();
+          panel[p * 2 * MR + 2 * r + 1] = v.imag();
+        }
+      }
+      for (std::size_t r = mr; r < MR; ++r) {
+        if constexpr (std::is_arithmetic_v<T>) {
+          panel[p * MR + r] = T{};
+        } else {
+          panel[p * 2 * MR + 2 * r] = R{};
+          panel[p * 2 * MR + 2 * r + 1] = R{};
+        }
+      }
+    }
+  }
+}
+
+/// C <- beta * C (parallel, row blocks). Used only on the degenerate
+/// k == 0 / alpha == 0 paths; the main engine folds beta into the first
+/// k-pass of each register tile instead.
+template <class T>
+void scale_c(T beta, T* c, std::size_t m, std::size_t n, std::size_t ldc) {
+  if (beta == T{1}) return;
+  par::parallel_for(0, m, 16, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      T* row = c + i * ldc;
+      if (beta == T{}) {
+        for (std::size_t j = 0; j < n; ++j) row[j] = T{};
+      } else {
+        for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+      }
+    }
+  });
+}
+
+/// The packed engine. Assumes shapes are already validated; counts no
+/// FLOPs (callers own the analytic count).
+template <class T>
+void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                 std::size_t k, T alpha, const T* a, std::size_t lda,
+                 const T* b, std::size_t ldb, T beta, T* c, std::size_t ldc) {
+  using R = typename scalar_of<T>::type;
+  constexpr std::size_t MR = Tile<T>::MR;
+  constexpr std::size_t NR = Tile<T>::NR;
+  constexpr std::size_t rpc = is_cplx_v<T> ? 2 : 1;
+
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T{}) {
+    scale_c(beta, c, m, n, ldc);
+    return;
+  }
+
+  const std::size_t njb = (n + NR - 1) / NR;
+  const std::size_t ntiles = (m + kMC - 1) / kMC;
+  const std::size_t kc0 = std::min(kKC, k);
+
+  common::Workspace& ws = common::Workspace::local();
+  common::Workspace::Frame frame(ws);
+  R* bpanel = ws.get<R>(njb * kc0 * NR * rpc);
+
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    const bool first = p0 == 0;
+
+    // Pack op(B)'s k-slice into column micro-panels once per pass; every
+    // row-panel below then streams it from cache. Disjoint writes, fixed
+    // grain: deterministic at any thread count.
+    par::parallel_for(0, njb, 8, [&](std::size_t jb0, std::size_t jb1) {
+      for (std::size_t jb = jb0; jb < jb1; ++jb)
+        pack_b_panel(b, ldb, tb, p0, kc, jb * NR,
+                     std::min(NR, n - jb * NR), bpanel + jb * kc * NR * rpc);
+    });
+
+    // Macro-tiles of C rows are independent: the pool hands each worker
+    // whole kMC row blocks (grain = 1 tile), so writes never overlap and
+    // the result is bit-identical at any thread count.
+    par::parallel_for(0, ntiles, 1, [&](std::size_t t0, std::size_t t1) {
+      common::Workspace& lws = common::Workspace::local();
+      for (std::size_t ti = t0; ti < t1; ++ti) {
+        const std::size_t i0 = ti * kMC;
+        const std::size_t mc = std::min(kMC, m - i0);
+        const std::size_t nib = (mc + MR - 1) / MR;
+        common::Workspace::Frame lf(lws);
+        R* apanel = lws.get<R>(nib * kc * MR * rpc);
+        pack_a_panel(a, lda, ta, alpha, i0, mc, p0, kc, apanel);
+
+        for (std::size_t ib = 0; ib < nib; ++ib) {
+          const std::size_t i = i0 + ib * MR;
+          const std::size_t mr = std::min(MR, m - i);
+          const R* ap = apanel + ib * kc * MR * rpc;
+          for (std::size_t jb = 0; jb < njb; ++jb) {
+            const std::size_t j = jb * NR;
+            const std::size_t nr = std::min(NR, n - j);
+            const R* bp = bpanel + jb * kc * NR * rpc;
+
+            if constexpr (std::is_arithmetic_v<T>) {
+              T acc[MR * NR] = {};
+              if (first) {
+                // beta folded into the first k-pass: C is read and
+                // beta-scaled here, inside the parallel tile, never in a
+                // serial prologue.
+                if (beta != T{})
+                  for (std::size_t ii = 0; ii < mr; ++ii)
+                    for (std::size_t jj = 0; jj < nr; ++jj)
+                      acc[ii * NR + jj] = beta * c[(i + ii) * ldc + j + jj];
+              } else {
+                for (std::size_t ii = 0; ii < mr; ++ii)
+                  for (std::size_t jj = 0; jj < nr; ++jj)
+                    acc[ii * NR + jj] = c[(i + ii) * ldc + j + jj];
+              }
+              ukern_real<T, MR, NR>(kc, ap, bp, acc);
+              for (std::size_t ii = 0; ii < mr; ++ii)
+                for (std::size_t jj = 0; jj < nr; ++jj)
+                  c[(i + ii) * ldc + j + jj] = acc[ii * NR + jj];
+            } else {
+              R accr[MR * NR] = {}, acci[MR * NR] = {};
+              if (first) {
+                if (beta != T{})
+                  for (std::size_t ii = 0; ii < mr; ++ii)
+                    for (std::size_t jj = 0; jj < nr; ++jj) {
+                      const T v = beta * c[(i + ii) * ldc + j + jj];
+                      accr[ii * NR + jj] = v.real();
+                      acci[ii * NR + jj] = v.imag();
+                    }
+              } else {
+                for (std::size_t ii = 0; ii < mr; ++ii)
+                  for (std::size_t jj = 0; jj < nr; ++jj) {
+                    const T v = c[(i + ii) * ldc + j + jj];
+                    accr[ii * NR + jj] = v.real();
+                    acci[ii * NR + jj] = v.imag();
+                  }
+              }
+              ukern_cplx<R, MR, NR>(kc, ap, bp, accr, acci);
+              for (std::size_t ii = 0; ii < mr; ++ii)
+                for (std::size_t jj = 0; jj < nr; ++jj)
+                  c[(i + ii) * ldc + j + jj] =
+                      T(accr[ii * NR + jj], acci[ii * NR + jj]);
+            }
+          }
+        }
+      }
+    });
+  }
+}
 
 } // namespace
+
+template <class T>
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          T alpha, const T* a, std::size_t lda, const T* b, std::size_t ldb,
+          T beta, T* c, std::size_t ldc) {
+  flops::add((is_cplx_v<T> ? 8ull : 2ull) * m * n * k);
+  gemm_engine(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+template void gemm<float>(Trans, Trans, std::size_t, std::size_t, std::size_t,
+                          float, const float*, std::size_t, const float*,
+                          std::size_t, float, float*, std::size_t);
+template void gemm<double>(Trans, Trans, std::size_t, std::size_t, std::size_t,
+                           double, const double*, std::size_t, const double*,
+                           std::size_t, double, double*, std::size_t);
+template void gemm<std::complex<float>>(Trans, Trans, std::size_t, std::size_t,
+                                        std::size_t, std::complex<float>,
+                                        const std::complex<float>*, std::size_t,
+                                        const std::complex<float>*, std::size_t,
+                                        std::complex<float>,
+                                        std::complex<float>*, std::size_t);
+template void gemm<std::complex<double>>(
+    Trans, Trans, std::size_t, std::size_t, std::size_t, std::complex<double>,
+    const std::complex<double>*, std::size_t, const std::complex<double>*,
+    std::size_t, std::complex<double>, std::complex<double>*, std::size_t);
 
 template <class T>
 void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
@@ -54,86 +385,8 @@ void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
   const std::size_t n = op_cols(b, tb);
   if (op_rows(b, tb) != k || c.rows() != m || c.cols() != n)
     throw std::invalid_argument("gemm: shape mismatch");
-
-  constexpr bool is_complex = !std::is_arithmetic_v<T>;
-  flops::add((is_complex ? 8ull : 2ull) * m * n * k);
-
-  // Pack op(A) and op(B) into contiguous row-major buffers once; the
-  // blocked kernel then streams rows of B against each row of A, which is
-  // the cache-friendly order for row-major storage (paper Sec. V.B.2-3:
-  // data re-ordering + blocking).
-  std::vector<T> pa;
-  const T* ap;
-  std::size_t lda;
-  if (ta == Trans::kN) {
-    ap = a.data();
-    lda = a.cols();
-  } else {
-    pa.resize(m * k);
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t p = 0; p < k; ++p) pa[i * k + p] = op_at(a, ta, i, p);
-    ap = pa.data();
-    lda = k;
-  }
-  std::vector<T> pb;
-  const T* bp;
-  std::size_t ldb;
-  if (tb == Trans::kN) {
-    bp = b.data();
-    ldb = b.cols();
-  } else {
-    pb.resize(k * n);
-    for (std::size_t p = 0; p < k; ++p)
-      for (std::size_t j = 0; j < n; ++j) pb[p * n + j] = op_at(b, tb, p, j);
-    bp = pb.data();
-    ldb = n;
-  }
-
-  // beta-scale C once up front.
-  if (beta == T{}) {
-    c.fill(T{});
-  } else if (beta != T{1}) {
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
-  }
-
-  // Macro-tiles of C rows are independent: the pool hands each worker
-  // whole kBlockI row blocks (grain = 1 tile), so writes never overlap
-  // and the result is bit-identical at any thread count.
-  const std::size_t ntiles = (m + kBlockI - 1) / kBlockI;
-  par::parallel_for(0, ntiles, 1, [&](std::size_t t0, std::size_t t1) {
-  for (std::size_t ti = t0; ti < t1; ++ti) {
-    const std::size_t i0 = ti * kBlockI;
-    const std::size_t i1 = std::min(i0 + kBlockI, m);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        T* crow = c.row(i);
-        for (std::size_t p = p0; p < p1; ++p) {
-          const T aip = alpha * ap[i * lda + p];
-          const T* brow = bp + p * ldb;
-          if constexpr (std::is_arithmetic_v<T>) {
-#pragma omp simd
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-          } else {
-            // Manual complex expansion: std::complex operator* routes
-            // through __mul?c3 (NaN-correct but scalar); the axpy form
-            // below vectorizes.
-            using R = typename T::value_type;
-            const R ar = aip.real(), ai = aip.imag();
-            const R* __restrict__ br = reinterpret_cast<const R*>(brow);
-            R* __restrict__ cr = reinterpret_cast<R*>(crow);
-#pragma omp simd
-            for (std::size_t j = 0; j < n; ++j) {
-              const R xr = br[2 * j], xi = br[2 * j + 1];
-              cr[2 * j] += ar * xr - ai * xi;
-              cr[2 * j + 1] += ar * xi + ai * xr;
-            }
-          }
-        }
-      }
-    }
-  }
-  });
+  gemm(ta, tb, m, n, k, alpha, a.data(), a.cols(), b.data(), b.cols(), beta,
+       c.data(), c.cols());
 }
 
 template void gemm<float>(Trans, Trans, float, const Matrix<float>&,
@@ -155,6 +408,7 @@ void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
                 const Matrix<std::complex<float>>& a,
                 const Matrix<std::complex<float>>& b, std::complex<float> beta,
                 Matrix<std::complex<float>>& c) {
+  using cf = std::complex<float>;
   if (mode == ComputeMode::kNative) {
     gemm(ta, tb, alpha, a, b, beta, c);
     return;
@@ -171,74 +425,130 @@ void gemm_mixed(ComputeMode mode, Trans ta, Trans tb, std::complex<float> alpha,
   // Materialize op(A) and op(B) with every scalar replaced by the FP32
   // value of the sum of its BF16 components. Component products are
   // accumulated in FP32, exactly what BF16 systolic hardware does.
-  // Components are kept in separate planes so each (component-of-A x
-  // component-of-B) pass is itself a uniform-precision product.
-  auto split_planes = [nc](std::size_t rows, std::size_t cols, auto fetch) {
-    std::vector<std::vector<std::complex<float>>> planes(
-        nc, std::vector<std::complex<float>>(rows * cols));
+  // Components are kept in separate planes (workspace-backed; no per-call
+  // heap traffic) so each (component-of-A x component-of-B) pass is itself
+  // a uniform-precision product running through the packed engine.
+  common::Workspace& ws = common::Workspace::local();
+  common::Workspace::Frame frame(ws);
+  cf* a_planes = ws.get<cf>(static_cast<std::size_t>(nc) * m * k);
+  cf* b_planes = ws.get<cf>(static_cast<std::size_t>(nc) * k * n);
+
+  auto split_planes = [nc](cf* planes, std::size_t rows, std::size_t cols,
+                           auto fetch) {
     bf16 parts_re[3], parts_im[3];
     for (std::size_t i = 0; i < rows; ++i)
       for (std::size_t j = 0; j < cols; ++j) {
-        const std::complex<float> v = fetch(i, j);
+        const cf v = fetch(i, j);
         bf16_split(v.real(), parts_re, nc);
         bf16_split(v.imag(), parts_im, nc);
         for (int q = 0; q < nc; ++q)
-          planes[q][i * cols + j] = {parts_re[q].to_float(), parts_im[q].to_float()};
+          planes[static_cast<std::size_t>(q) * rows * cols + i * cols + j] =
+              {parts_re[q].to_float(), parts_im[q].to_float()};
       }
-    return planes;
   };
-
-  auto a_planes = split_planes(m, k, [&](std::size_t i, std::size_t j) {
-    return op_at(a, ta, i, j);
+  split_planes(a_planes, m, k, [&](std::size_t i, std::size_t j) {
+    return op_at_raw(a.data(), a.cols(), ta, i, j);
   });
-  auto b_planes = split_planes(k, n, [&](std::size_t i, std::size_t j) {
-    return op_at(b, tb, i, j);
+  split_planes(b_planes, k, n, [&](std::size_t i, std::size_t j) {
+    return op_at_raw(b.data(), b.cols(), tb, i, j);
   });
 
-  if (beta == std::complex<float>{}) {
-    c.fill({});
-  } else if (beta != std::complex<float>{1.0f, 0.0f}) {
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
-  }
-
-  // Rows of C are independent; grain 8 keeps dispatch cost amortized for
-  // the small-m cases the precision benches use.
-  par::parallel_for(0, m, 8, [&](std::size_t r0, std::size_t r1) {
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* __restrict__ cr = reinterpret_cast<float*>(c.row(i));
-    for (int qa = 0; qa < nc; ++qa) {
-      const auto& ap = a_planes[qa];
-      for (int qb = 0; qb < nc; ++qb) {
-        const auto& bp = b_planes[qb];
-        for (std::size_t p = 0; p < k; ++p) {
-          const std::complex<float> aip = alpha * ap[i * k + p];
-          const float ar = aip.real(), ai = aip.imag();
-          const float* __restrict__ br =
-              reinterpret_cast<const float*>(bp.data() + p * n);
-#pragma omp simd
-          for (std::size_t j = 0; j < n; ++j) {
-            const float xr = br[2 * j], xi = br[2 * j + 1];
-            cr[2 * j] += ar * xr - ai * xi;
-            cr[2 * j + 1] += ar * xi + ai * xr;
-          }
-        }
-      }
-    }
-  }
-  });
+  // One packed-engine pass per component pair, in fixed (qa, qb) order;
+  // the first pass folds the caller's beta, later passes accumulate. Per
+  // C element this reproduces the qa-major, qb-minor, ascending-k
+  // summation order of a systolic accumulation loop.
+  for (int qa = 0; qa < nc; ++qa)
+    for (int qb = 0; qb < nc; ++qb)
+      gemm_engine(Trans::kN, Trans::kN, m, n, k, alpha,
+                  a_planes + static_cast<std::size_t>(qa) * m * k, k,
+                  b_planes + static_cast<std::size_t>(qb) * k * n, n,
+                  qa == 0 && qb == 0 ? beta : cf{1.0f, 0.0f}, c.data(),
+                  c.cols());
 }
 
 template <class T>
 void gemv(Trans ta, T alpha, const Matrix<T>& a, const T* x, T beta, T* y) {
+  using R = typename scalar_of<T>::type;
   const std::size_t m = op_rows(a, ta);
   const std::size_t k = op_cols(a, ta);
-  constexpr bool is_complex = !std::is_arithmetic_v<T>;
-  flops::add((is_complex ? 8ull : 2ull) * m * k);
-  for (std::size_t i = 0; i < m; ++i) {
-    T acc{};
-    for (std::size_t p = 0; p < k; ++p) acc += op_at(a, ta, i, p) * x[p];
-    y[i] = alpha * acc + beta * y[i];
+  // Analytic count: one multiply-add per op(A) element — 2 real FLOPs for
+  // real data, 8 for complex (4 mul + 4 add) — identical for kN and the
+  // packed kT/kC path. Verified by a unit check in test_la.
+  flops::add((is_cplx_v<T> ? 8ull : 2ull) * m * k);
+  if (m == 0) return;
+
+  if (ta == Trans::kN) {
+    // Row-major dot products; rows are independent.
+    par::parallel_for(0, m, 32, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        const T* row = a.row(i);
+        if constexpr (std::is_arithmetic_v<T>) {
+          T acc{};
+#pragma omp simd reduction(+ : acc)
+          for (std::size_t p = 0; p < k; ++p) acc += row[p] * x[p];
+          y[i] = beta == T{} ? alpha * acc : alpha * acc + beta * y[i];
+        } else {
+          const R* rr = reinterpret_cast<const R*>(row);
+          const R* xr = reinterpret_cast<const R*>(x);
+          R sr{}, si{};
+#pragma omp simd reduction(+ : sr, si)
+          for (std::size_t p = 0; p < k; ++p) {
+            const R ar = rr[2 * p], ai = rr[2 * p + 1];
+            const R vr = xr[2 * p], vi = xr[2 * p + 1];
+            sr += ar * vr - ai * vi;
+            si += ar * vi + ai * vr;
+          }
+          const T acc(sr, si);
+          y[i] = beta == T{} ? alpha * acc : alpha * acc + beta * y[i];
+        }
+      }
+    });
+    return;
   }
+
+  // kT / kC: op(A)(i, p) = conj?(A(p, i)) — walking op rows would stride
+  // down columns of A. Instead stream A row by row (cache order) into a
+  // packed accumulator slab for a chunk of outputs: acc[j] accumulates
+  // column j in ascending p order, so the summation order per output is
+  // fixed and thread-count independent (chunks own disjoint outputs).
+  const bool conj = ta == Trans::kC;
+  par::parallel_for(0, m, 256, [&](std::size_t j0, std::size_t j1) {
+    const std::size_t w = j1 - j0;
+    common::Workspace& ws = common::Workspace::local();
+    common::Workspace::Frame f(ws);
+    if constexpr (std::is_arithmetic_v<T>) {
+      T* acc = ws.get<T>(w);
+      for (std::size_t j = 0; j < w; ++j) acc[j] = T{};
+      for (std::size_t p = 0; p < k; ++p) {
+        const T* row = a.row(p) + j0;
+        const T xv = x[p];
+#pragma omp simd
+        for (std::size_t j = 0; j < w; ++j) acc[j] += row[j] * xv;
+      }
+      for (std::size_t j = 0; j < w; ++j)
+        y[j0 + j] = beta == T{} ? alpha * acc[j] : alpha * acc[j] + beta * y[j0 + j];
+    } else {
+      R* accr = ws.get<R>(w);
+      R* acci = ws.get<R>(w);
+      for (std::size_t j = 0; j < w; ++j) accr[j] = acci[j] = R{};
+      const R sign = conj ? R{-1} : R{1};
+      const R* xr = reinterpret_cast<const R*>(x);
+      for (std::size_t p = 0; p < k; ++p) {
+        const R* row = reinterpret_cast<const R*>(a.row(p) + j0);
+        const R vr = xr[2 * p], vi = xr[2 * p + 1];
+#pragma omp simd
+        for (std::size_t j = 0; j < w; ++j) {
+          const R ar = row[2 * j], ai = sign * row[2 * j + 1];
+          accr[j] += ar * vr - ai * vi;
+          acci[j] += ar * vi + ai * vr;
+        }
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        const T acc(accr[j], acci[j]);
+        y[j0 + j] = beta == T{} ? alpha * acc : alpha * acc + beta * y[j0 + j];
+      }
+    }
+  });
 }
 
 template void gemv<double>(Trans, double, const Matrix<double>&, const double*, double,

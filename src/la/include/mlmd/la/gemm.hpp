@@ -4,13 +4,24 @@
 // MLMD's nonlocal correction, energy, and current computations are
 // "GEMMified": expressed as dense matrix-matrix products. On Aurora these
 // run through oneMKL with compute modes float_to_BF16{,x2,x3}. Here we
-// implement our own cache-blocked GEMM with the same parameterized
-// precision surface:
+// implement our own packed, register-blocked GEMM engine with the same
+// parameterized precision surface:
 //   - native FP64 / FP32 (real and complex),
 //   - software-emulated BF16 with FP32 accumulation, where each FP32
 //     input scalar is split into 1, 2, or 3 BF16 components
 //     (ComputeMode::kBF16{,x2,x3}) and products of components are
 //     accumulated in FP32, mirroring systolic-array semantics.
+//
+// Engine layout (DESIGN.md §8): op(B) is packed into column micro-panels
+// and alpha*op(A) into row micro-panels inside each k-block, and an
+// explicit register-tiled micro-kernel (4x16 real, 2x8 complex
+// accumulators) drives all four precisions. Packing scratch comes from
+// the thread-local mlmd::common::Workspace arena, so steady-state calls
+// are allocation-free. Determinism: tile decomposition and accumulation
+// order depend only on shapes — never on the thread count — and each
+// C element is reduced in strictly ascending k order, so results are
+// bit-identical for any thread count and bit-identical to a scalar
+// ascending-k dot product (the contract Mlp::forward_batch relies on).
 //
 // All entry points record analytic FLOP counts via mlmd::flops.
 
@@ -41,6 +52,35 @@ enum class ComputeMode {
 template <class T>
 void gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
           T beta, Matrix<T>& c);
+
+/// Raw-pointer GEMM on row-major operands with explicit leading
+/// dimensions: C[m x n, ldc] <- alpha * op(A) * op(B) + beta * C where
+/// op(A) is m x k and op(B) is k x n. `a` points at the stored matrix
+/// (the one op() is applied to): for ta == kN it is m x k with leading
+/// dimension lda; for kT/kC it is k x m. Same engine and determinism
+/// contract as the Matrix overload; used by callers whose operands are
+/// not Matrix objects (Mlp weight slices, workspace activations).
+template <class T>
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          T alpha, const T* a, std::size_t lda, const T* b, std::size_t ldb,
+          T beta, T* c, std::size_t ldc);
+
+extern template void gemm<float>(Trans, Trans, std::size_t, std::size_t,
+                                 std::size_t, float, const float*, std::size_t,
+                                 const float*, std::size_t, float, float*,
+                                 std::size_t);
+extern template void gemm<double>(Trans, Trans, std::size_t, std::size_t,
+                                  std::size_t, double, const double*,
+                                  std::size_t, const double*, std::size_t,
+                                  double, double*, std::size_t);
+extern template void gemm<std::complex<float>>(
+    Trans, Trans, std::size_t, std::size_t, std::size_t, std::complex<float>,
+    const std::complex<float>*, std::size_t, const std::complex<float>*,
+    std::size_t, std::complex<float>, std::complex<float>*, std::size_t);
+extern template void gemm<std::complex<double>>(
+    Trans, Trans, std::size_t, std::size_t, std::size_t, std::complex<double>,
+    const std::complex<double>*, std::size_t, const std::complex<double>*,
+    std::size_t, std::complex<double>, std::complex<double>*, std::size_t);
 
 extern template void gemm<float>(Trans, Trans, float, const Matrix<float>&,
                                  const Matrix<float>&, float, Matrix<float>&);

@@ -59,16 +59,36 @@ double AtomModel::energy_forces(const qxmd::Atoms& atoms,
 
   double energy = 0.0;
   // dE/dG for every atom, filled block by block; the per-block scratch
-  // (descriptors of one batch) is what block inference bounds.
+  // (descriptors + pair cache of one batch) is what block inference bounds.
   std::vector<double> de_dg(n * width);
-  std::vector<double> g(nb), dg(nb), feat(width);
+  std::vector<double> g(nb), dg(nb);
+  // Block inference (Sec. V.B.9), GEMM-bound: descriptors for a whole
+  // block are assembled into one feature matrix and pushed through the
+  // network with Mlp::grad_input_batch (one gemm per layer) instead of
+  // per-atom scalar passes. The batched pass is bitwise identical to the
+  // per-atom one (gemm ascending-k contract), so block size still cannot
+  // change results. While assembling descriptors we cache each surviving
+  // pair's (j, displacement, r, dG/dr) so radial force assembly replays the
+  // cache instead of re-evaluating the basis — the eval is the dominant
+  // non-GEMM cost. All buffers are hoisted out of the block loop, so every
+  // block after the first reuses their capacity.
+  la::Matrix<double> feats, dedg_blk, y_blk;
+  std::vector<std::size_t> pair_off, pair_j;
+  std::vector<double> pair_geo; // 4 per pair: d0, d1, d2, r
+  std::vector<double> pair_dg;  // nb per pair
+  flops::add(12ull * nb * nl.pair_count());
 
   for (std::size_t b0 = 0; b0 < n; b0 += block_size) {
     const std::size_t b1 = std::min(b0 + block_size, n);
-    const std::size_t scratch = (b1 - b0) * width * sizeof(double);
-    peak_scratch_ = std::max(peak_scratch_, scratch);
+    const std::size_t bn = b1 - b0;
+    feats.resize(bn, width);
+    feats.fill(0.0);
+    pair_off.assign(1, 0);
+    pair_j.clear();
+    pair_geo.clear();
+    pair_dg.clear();
     for (std::size_t i = b0; i < b1; ++i) {
-      feat.assign(width, 0.0);
+      double* feat = feats.row(i - b0);
       for (auto j : nl.neighbors(i)) {
         const auto d = atoms.box.mic(atoms.pos(i), atoms.pos(j));
         const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
@@ -77,40 +97,54 @@ double AtomModel::energy_forces(const qxmd::Atoms& atoms,
         const std::size_t ch =
             static_cast<std::size_t>(atoms.type[j] % ntypes_) * nb;
         for (std::size_t k = 0; k < nb; ++k) feat[ch + k] += g[k];
+        pair_j.push_back(j);
+        pair_geo.insert(pair_geo.end(), {d[0], d[1], d[2], r});
+        pair_dg.insert(pair_dg.end(), dg.begin(), dg.end());
       }
       if (has_angular())
-        angular_features_for_atom(atoms, nl, angular_, i, feat.data() + nbt);
-      energy += net_.value(feat);
-      auto gi = net_.grad_input(feat);
-      for (std::size_t k = 0; k < width; ++k) de_dg[i * width + k] = gi[k];
+        angular_features_for_atom(atoms, nl, angular_, i, feat + nbt);
+      pair_off.push_back(pair_j.size());
     }
-  }
+    const std::size_t scratch =
+        bn * width * sizeof(double) +
+        pair_j.size() * (sizeof(std::size_t) + (4 + nb) * sizeof(double));
+    peak_scratch_ = std::max(peak_scratch_, scratch);
 
-  // Angular force contributions (three-body chain rule).
-  if (has_angular())
-    angular_forces(atoms, nl, angular_, de_dg, width, nbt, forces);
+    net_.grad_input_batch(feats, dedg_blk, &y_blk);
+    for (std::size_t r = 0; r < bn; ++r) energy += y_blk(r, 0);
+    std::copy(dedg_blk.data(), dedg_blk.data() + bn * width,
+              de_dg.data() + b0 * width);
 
-  // Force assembly: F_i -= dE_i/dG_ik * dG_ik/dr over pairs; each directed
-  // pair (i,j) moves both endpoints (Newton's third law built in).
-  flops::add(12ull * nb * nl.pair_count());
-  for (std::size_t i = 0; i < n; ++i) {
-    for (auto j : nl.neighbors(i)) {
-      const auto d = atoms.box.mic(atoms.pos(i), atoms.pos(j));
-      const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
-      if (r <= 0 || r >= basis_.rc) continue;
-      basis_.eval(r, g, dg);
-      const std::size_t ch =
-          static_cast<std::size_t>(atoms.type[j] % ntypes_) * nb;
-      double c = 0.0;
-      for (std::size_t k = 0; k < nb; ++k) c += de_dg[i * width + ch + k] * dg[k];
-      // dr/dr_i = d/r (d = r_i - r_j).
-      for (int k = 0; k < 3; ++k) {
-        const double comp = c * d[static_cast<std::size_t>(k)] / r;
-        forces[3 * i + static_cast<std::size_t>(k)] -= comp;
-        forces[3 * j + static_cast<std::size_t>(k)] += comp;
+    // Radial force assembly: F_i -= dE_i/dG_ik * dG_ik/dr over the cached
+    // pairs; each directed pair (i, j) moves both endpoints (Newton's
+    // third law built in). Pair order matches the descriptor pass, so
+    // results are independent of block size.
+    for (std::size_t i = b0; i < b1; ++i) {
+      const double* dedg_i = dedg_blk.data() + (i - b0) * width;
+      for (std::size_t p = pair_off[i - b0]; p < pair_off[i - b0 + 1]; ++p) {
+        const std::size_t j = pair_j[p];
+        const double* geo = pair_geo.data() + 4 * p;
+        const double* pdg = pair_dg.data() + nb * p;
+        const std::size_t ch =
+            static_cast<std::size_t>(atoms.type[j] % ntypes_) * nb;
+        double c = 0.0;
+        for (std::size_t k = 0; k < nb; ++k) c += dedg_i[ch + k] * pdg[k];
+        // dr/dr_i = d/r (d = r_i - r_j).
+        for (int k = 0; k < 3; ++k) {
+          const double comp = c * geo[static_cast<std::size_t>(k)] / geo[3];
+          forces[3 * i + static_cast<std::size_t>(k)] -= comp;
+          forces[3 * j + static_cast<std::size_t>(k)] += comp;
+        }
       }
     }
   }
+
+  // Angular force contributions (three-body chain rule). Note: these now
+  // accumulate after the radial terms instead of before; addition order
+  // into `forces` changed once with this rewrite but remains fixed and
+  // block-size independent.
+  if (has_angular())
+    angular_forces(atoms, nl, angular_, de_dg, width, nbt, forces);
   return energy;
 }
 
@@ -123,16 +157,34 @@ LatticeModel::LatticeModel(std::vector<std::size_t> hidden, unsigned long long s
         return sizes;
       }(), seed) {}
 
+namespace {
+
+/// Cells are processed in bounded batches so the feature matrix stays
+/// cache-sized no matter how large the lattice is.
+constexpr std::size_t kCellBlock = 8192;
+
+} // namespace
+
 double LatticeModel::energy(const ferro::FerroLattice& lat) const {
+  // Batched inference over cell blocks (x-major cell order, as before).
+  // The previous omp-reduction version summed per-cell energies in a
+  // thread-count-dependent order; the batched sum is strictly ascending,
+  // so the total is now deterministic for any thread count.
+  const std::size_t ly = lat.ly();
+  const std::size_t ncell = lat.lx() * ly;
   double e = 0.0;
   std::vector<double> feat;
-#pragma omp parallel for collapse(2) reduction(+ : e) schedule(static) \
-    firstprivate(feat)
-  for (std::size_t x = 0; x < lat.lx(); ++x)
-    for (std::size_t y = 0; y < lat.ly(); ++y) {
-      lattice_features(lat, x, y, feat);
-      e += net_.value(feat);
+  la::Matrix<double> feats, y;
+  for (std::size_t c0 = 0; c0 < ncell; c0 += kCellBlock) {
+    const std::size_t c1 = std::min(c0 + kCellBlock, ncell);
+    feats.resize(c1 - c0, kLatticeFeatures);
+    for (std::size_t c = c0; c < c1; ++c) {
+      lattice_features(lat, c / ly, c % ly, feat);
+      std::copy(feat.begin(), feat.end(), feats.row(c - c0));
     }
+    net_.forward_batch(feats, y);
+    for (std::size_t r = 0; r < c1 - c0; ++r) e += y(r, 0);
+  }
   return e;
 }
 
@@ -140,13 +192,21 @@ std::vector<ferro::Vec3> LatticeModel::forces(const ferro::FerroLattice& lat) co
   const std::size_t lx = lat.lx(), ly = lat.ly();
   std::vector<ferro::Vec3> f(lx * ly, ferro::Vec3{0, 0, 0});
   std::vector<double> feat;
+  la::Matrix<double> feats, dedg;
 
-  for (std::size_t x = 0; x < lx; ++x) {
-    const std::size_t xp = (x + 1) % lx, xm = (x + lx - 1) % lx;
-    for (std::size_t y = 0; y < ly; ++y) {
+  for (std::size_t c0 = 0; c0 < lx * ly; c0 += kCellBlock) {
+    const std::size_t c1 = std::min(c0 + kCellBlock, lx * ly);
+    feats.resize(c1 - c0, kLatticeFeatures);
+    for (std::size_t c = c0; c < c1; ++c) {
+      lattice_features(lat, c / ly, c % ly, feat);
+      std::copy(feat.begin(), feat.end(), feats.row(c - c0));
+    }
+    net_.grad_input_batch(feats, dedg);
+    for (std::size_t c = c0; c < c1; ++c) {
+      const std::size_t x = c / ly, y = c % ly;
+      const std::size_t xp = (x + 1) % lx, xm = (x + lx - 1) % lx;
       const std::size_t yp = (y + 1) % ly, ym = (y + ly - 1) % ly;
-      lattice_features(lat, x, y, feat);
-      const auto gi = net_.grad_input(feat);
+      const double* gi = dedg.row(c - c0);
       const auto& ui = lat.u(x, y);
       // Feature layout (descriptor.cpp): [u_i (3), |u_i|^2, u_xp (3),
       // u_xm (3), u_yp (3), u_ym (3)].

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mlmd/common/rng.hpp"
+#include "mlmd/la/matrix.hpp"
 
 namespace mlmd::nnq {
 
@@ -46,6 +47,36 @@ public:
   std::vector<double> forward_backward(const std::vector<double>& x,
                                        const std::vector<double>& dl_dy,
                                        std::vector<double>& grad) const;
+
+  // ---- batched inference / training (the Table II hot path) -------------
+  //
+  // One la::gemm per layer over a whole batch of samples (rows of x)
+  // instead of one scalar dot-product pass per sample. Because the packed
+  // GEMM engine reduces every output element in ascending-k order with a
+  // single accumulator (see gemm.hpp), these are *bitwise identical* to
+  // calling the scalar forward / grad_input / forward_backward per row —
+  // asserted in test_nnq. Scratch comes from the thread-local Workspace
+  // arena, so steady-state calls are allocation-free.
+
+  /// y(s, :) = forward(x(s, :)) for every row s; y is resized to
+  /// x.rows() x n_out().
+  void forward_batch(const la::Matrix<double>& x, la::Matrix<double>& y) const;
+
+  /// dy0_dx(s, :) = grad_input(x(s, :)) for every row s (resized to
+  /// x.rows() x n_in()). If y is non-null it also receives the forward
+  /// values (resized to x.rows() x n_out()) — one fused pass instead of
+  /// forward + grad_input.
+  void grad_input_batch(const la::Matrix<double>& x, la::Matrix<double>& dy0_dx,
+                        la::Matrix<double>* y = nullptr) const;
+
+  /// Batched forward_backward: accumulates dL/dw into `grad` given per-row
+  /// dL/dy (x.rows() x n_out()) and writes forward values into y. Sample
+  /// contributions enter `grad` in ascending row order, matching a scalar
+  /// forward_backward loop over rows bitwise.
+  void forward_backward_batch(const la::Matrix<double>& x,
+                              const la::Matrix<double>& dl_dy,
+                              std::vector<double>& grad,
+                              la::Matrix<double>& y) const;
 
   /// Serialize / deserialize (text format with layer sizes header).
   void save(const std::string& path) const;

@@ -12,16 +12,35 @@
 namespace mlmd::nnq {
 namespace {
 
+/// Pack a sample's per-site feature vectors into one batch matrix.
+void pack_features(const EnergySample& s, la::Matrix<double>& feats) {
+  const std::size_t nsite = s.features.size();
+  feats.resize(nsite, nsite ? s.features[0].size() : 0);
+  for (std::size_t r = 0; r < nsite; ++r)
+    std::copy(s.features[r].begin(), s.features[r].end(), feats.row(r));
+}
+
+/// Batched prediction: sum of site outputs in ascending site order —
+/// bitwise what the old per-site net.value() loop produced.
+double predict(const Mlp& net, const la::Matrix<double>& feats,
+               la::Matrix<double>& y) {
+  net.forward_batch(feats, y);
+  double pred = 0.0;
+  for (std::size_t r = 0; r < y.rows(); ++r) pred += y(r, 0);
+  return pred;
+}
+
 /// dL/dw of the per-site-normalized squared energy error for one sample.
 /// Returns the squared error contribution.
 double sample_grad(const Mlp& net, const EnergySample& s, std::vector<double>& grad) {
   const double ns = static_cast<double>(s.features.size());
-  double pred = 0.0;
-  for (const auto& f : s.features) pred += net.value(f);
+  la::Matrix<double> feats, y;
+  pack_features(s, feats);
+  const double pred = predict(net, feats, y);
   const double err = (pred - s.energy) / ns; // per-site error
   // dL/dpred_site = 2 * err / ns per site (pred = sum of site outputs).
-  std::vector<double> dl_dy{2.0 * err / ns};
-  for (const auto& f : s.features) net.forward_backward(f, dl_dy, grad);
+  la::Matrix<double> dl_dy(s.features.size(), 1, 2.0 * err / ns);
+  net.forward_backward_batch(feats, dl_dy, grad, y);
   return err * err;
 }
 
@@ -29,9 +48,10 @@ double sample_grad(const Mlp& net, const EnergySample& s, std::vector<double>& g
 
 double energy_mse(const Mlp& net, const Dataset& data) {
   double mse = 0.0;
+  la::Matrix<double> feats, y;
   for (const auto& s : data) {
-    double pred = 0.0;
-    for (const auto& f : s.features) pred += net.value(f);
+    pack_features(s, feats);
+    const double pred = predict(net, feats, y);
     const double err = (pred - s.energy) / static_cast<double>(s.features.size());
     mse += err * err;
   }

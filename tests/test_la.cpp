@@ -7,11 +7,14 @@
 #include <complex>
 #include <tuple>
 
+#include "mlmd/common/flops.hpp"
 #include "mlmd/common/rng.hpp"
+#include "mlmd/common/workspace.hpp"
 #include "mlmd/la/eig.hpp"
 #include "mlmd/la/gemm.hpp"
 #include "mlmd/la/matrix.hpp"
 #include "mlmd/la/ortho.hpp"
+#include "mlmd/par/thread_pool.hpp"
 
 namespace {
 
@@ -115,6 +118,161 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmCase{130, 70, 129, Trans::kN, Trans::kN},
                       GemmCase{33, 65, 200, Trans::kC, Trans::kT}));
 
+// ---- exhaustive engine validation ----------------------------------------
+//
+// The packed engine has edge paths at every blocking boundary (MR/NR
+// tile remainders, kMC row-panel remainders, kKC reduction splits, empty
+// dimensions). Sweep the full shape cross-product over sizes that hit
+// each of them, for every trans pair.
+
+constexpr std::size_t kEdgeSizes[] = {0, 1, 5, 64, 65, 129};
+constexpr Trans kAllTrans[] = {Trans::kN, Trans::kT, Trans::kC};
+
+template <class T>
+void exhaustive_shape_sweep(T alpha, T beta, double tol_scale) {
+  mlmd::Rng rng(41);
+  for (std::size_t m : kEdgeSizes)
+    for (std::size_t n : kEdgeSizes)
+      for (std::size_t k : kEdgeSizes)
+        for (Trans ta : kAllTrans)
+          for (Trans tb : kAllTrans) {
+            if constexpr (std::is_arithmetic_v<T>)
+              if (ta == Trans::kC || tb == Trans::kC) continue;
+            Matrix<T> a(ta == Trans::kN ? m : k, ta == Trans::kN ? k : m);
+            Matrix<T> b(tb == Trans::kN ? k : n, tb == Trans::kN ? n : k);
+            Matrix<T> c(m, n);
+            fill_random(a, rng);
+            fill_random(b, rng);
+            fill_random(c, rng);
+            auto expect = ref_gemm(ta, tb, alpha, a, b, beta, c);
+            gemm(ta, tb, alpha, a, b, beta, c);
+            ASSERT_LT(max_abs_diff(c, expect),
+                      tol_scale * static_cast<double>(k + 1))
+                << "m=" << m << " n=" << n << " k=" << k
+                << " ta=" << static_cast<int>(ta)
+                << " tb=" << static_cast<int>(tb);
+          }
+}
+
+TEST(GemmExhaustive, ShapeSweepDouble) {
+  exhaustive_shape_sweep<double>(1.7, -0.6, 1e-10);
+}
+
+TEST(GemmExhaustive, ShapeSweepComplexDouble) {
+  exhaustive_shape_sweep<cd>(cd(1.3, -0.4), cd(0.5, 0.2), 1e-10);
+}
+
+TEST(GemmExhaustive, ShapeSweepFloat) {
+  exhaustive_shape_sweep<float>(1.7f, -0.6f, 2e-4);
+}
+
+TEST(GemmExhaustive, ShapeSweepComplexFloat) {
+  exhaustive_shape_sweep<cf>(cf(1.3f, -0.4f), cf(0.5f, 0.2f), 4e-4);
+}
+
+// alpha/beta cross-product (incl. the alpha == 0 and beta == 0 special
+// paths, which must still apply beta / overwrite C) on a shape subset
+// across all four precisions.
+template <class T>
+struct real_of {
+  using type = T;
+};
+template <class R>
+struct real_of<std::complex<R>> {
+  using type = R;
+};
+
+template <class T>
+void alpha_beta_sweep(double tol_scale) {
+  using R = typename real_of<T>::type;
+  mlmd::Rng rng(43);
+  const R coefs[] = {R{0}, R{1}, R{-0.5}};
+  const std::size_t shapes[][3] = {{5, 3, 7}, {65, 33, 129}};
+  const Trans pairs[][2] = {{Trans::kN, Trans::kN}, {Trans::kT, Trans::kT}};
+  for (const auto& s : shapes)
+    for (const auto& tp : pairs)
+      for (R av : coefs)
+        for (R bv : coefs) {
+          const std::size_t m = s[0], n = s[1], k = s[2];
+          const Trans ta = tp[0], tb = tp[1];
+          const T alpha(av), beta(bv);
+          Matrix<T> a(ta == Trans::kN ? m : k, ta == Trans::kN ? k : m);
+          Matrix<T> b(tb == Trans::kN ? k : n, tb == Trans::kN ? n : k);
+          Matrix<T> c(m, n);
+          fill_random(a, rng);
+          fill_random(b, rng);
+          fill_random(c, rng);
+          auto expect = ref_gemm(ta, tb, alpha, a, b, beta, c);
+          gemm(ta, tb, alpha, a, b, beta, c);
+          ASSERT_LT(max_abs_diff(c, expect),
+                    tol_scale * static_cast<double>(k + 1))
+              << "alpha=" << static_cast<double>(av)
+              << " beta=" << static_cast<double>(bv) << " k=" << k;
+        }
+}
+
+TEST(GemmAlphaBeta, Double) { alpha_beta_sweep<double>(1e-10); }
+TEST(GemmAlphaBeta, ComplexDouble) { alpha_beta_sweep<cd>(1e-10); }
+TEST(GemmAlphaBeta, Float) { alpha_beta_sweep<float>(2e-4); }
+TEST(GemmAlphaBeta, ComplexFloat) { alpha_beta_sweep<cf>(4e-4); }
+
+// Determinism contract (gemm.hpp): results are bit-identical for any
+// thread count, because tile decomposition and accumulation order depend
+// only on shapes.
+TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
+  const int nthr0 = mlmd::par::num_threads();
+  mlmd::Rng rng(47);
+  Matrix<double> a(65, 129), b(129, 65), c0(65, 65);
+  Matrix<cd> za(129, 65), zb(65, 129), zc0(65, 65); // stored op-shapes for kC/kT
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c0, rng);
+  fill_random(za, rng);
+  fill_random(zb, rng);
+  fill_random(zc0, rng);
+
+  Matrix<double> c_ref;
+  Matrix<cd> zc_ref;
+  bool first = true;
+  for (int threads : {1, 2, 7}) {
+    mlmd::par::ThreadPool::set_global_threads(threads);
+    Matrix<double> c = c0;
+    Matrix<cd> zc = zc0;
+    gemm(Trans::kN, Trans::kN, 1.5, a, b, -0.5, c);
+    gemm(Trans::kC, Trans::kT, cd(1.5, 0.25), za, zb, cd(-0.5, 1.0), zc);
+    if (first) {
+      c_ref = c;
+      zc_ref = zc;
+      first = false;
+    } else {
+      EXPECT_EQ(c, c_ref) << "threads=" << threads;
+      EXPECT_EQ(zc, zc_ref) << "threads=" << threads;
+    }
+  }
+  mlmd::par::ThreadPool::set_global_threads(nthr0);
+}
+
+// Steady state is allocation-free: after a warm-up call, repeated gemms
+// with the same shapes never touch the heap (Workspace arena contract).
+TEST(GemmWorkspace, SteadyStateAllocFree) {
+  mlmd::Rng rng(53);
+  Matrix<double> a(129, 129), b(129, 129), c(129, 129);
+  Matrix<cf> za(129, 129), zb(129, 129), zc(129, 129);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(za, rng);
+  fill_random(zb, rng);
+  auto run = [&] {
+    gemm(Trans::kN, Trans::kT, 1.0, a, b, 0.0, c);
+    gemm_mixed(ComputeMode::kBF16x2, Trans::kC, Trans::kN, cf(1.0f, 0.0f), za,
+               zb, cf{}, zc);
+  };
+  run(); // warm-up: arena growth allowed here only
+  const auto allocs = mlmd::common::Workspace::total_heap_allocs();
+  for (int i = 0; i < 3; ++i) run();
+  EXPECT_EQ(mlmd::common::Workspace::total_heap_allocs(), allocs);
+}
+
 TEST(Gemm, ShapeMismatchThrows) {
   Matrix<double> a(3, 4), b(5, 6), c(3, 6);
   EXPECT_THROW(gemm(Trans::kN, Trans::kN, 1.0, a, b, 0.0, c),
@@ -144,6 +302,59 @@ TEST(Gemv, MatchesGemm) {
     double acc = 0;
     for (std::size_t j = 0; j < 4; ++j) acc += a(i, j) * x[j];
     EXPECT_NEAR(y[i], acc, 1e-12);
+  }
+}
+
+TEST(Gemv, ComplexTransConjMatchesReference) {
+  // The packed kT/kC path streams A row by row into per-output
+  // accumulators; check it against the direct column-dot definition for
+  // both the transpose and the conjugate-transpose.
+  mlmd::Rng rng(20);
+  Matrix<cd> a(37, 23); // stored k x m for kT/kC
+  fill_random(a, rng);
+  std::vector<cd> x(37), y0(23);
+  for (auto& v : x) v = cd(rng.normal(), rng.normal());
+  for (auto& v : y0) v = cd(rng.normal(), rng.normal());
+  const cd alpha(1.25, -0.5), beta(0.75, 0.25);
+  for (Trans t : {Trans::kT, Trans::kC}) {
+    std::vector<cd> y = y0;
+    gemv(t, alpha, a, x.data(), beta, y.data());
+    for (std::size_t j = 0; j < 23; ++j) {
+      cd acc{};
+      for (std::size_t p = 0; p < 37; ++p) {
+        const cd v = t == Trans::kC ? std::conj(a(p, j)) : a(p, j);
+        acc += v * x[p];
+      }
+      const cd expect = alpha * acc + beta * y0[j];
+      ASSERT_NEAR(std::abs(y[j] - expect), 0.0, 1e-12)
+          << "t=" << static_cast<int>(t) << " j=" << j;
+    }
+  }
+}
+
+TEST(Gemv, FlopCountDistinguishesComplex) {
+  // Analytic contract (gemm.cpp): 2*m*k real FLOPs for real data, 8*m*k
+  // for complex — identical for every trans path.
+  Matrix<double> a(12, 7);
+  std::vector<double> x(12, 1.0), y(7, 0.0);
+  Matrix<cd> za(12, 7);
+  std::vector<cd> zx(12, cd(1.0, 0.0)), zy(7);
+  {
+    mlmd::flops::Scope s;
+    gemv(Trans::kT, 1.0, a, x.data(), 0.0, y.data());
+    EXPECT_EQ(s.flops(), 2ull * 7 * 12);
+  }
+  {
+    mlmd::flops::Scope s;
+    gemv(Trans::kC, cd(1.0, 0.0), za, zx.data(), cd{}, zy.data());
+    EXPECT_EQ(s.flops(), 8ull * 7 * 12);
+  }
+  {
+    // kN consumes x of length n_cols and fills y of length n_rows.
+    std::vector<cd> zx_n(7, cd(1.0, 0.0)), zy_n(12);
+    mlmd::flops::Scope s;
+    gemv(Trans::kN, cd(1.0, 0.0), za, zx_n.data(), cd{}, zy_n.data());
+    EXPECT_EQ(s.flops(), 8ull * 12 * 7);
   }
 }
 

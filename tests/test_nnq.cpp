@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "mlmd/common/rng.hpp"
+#include "mlmd/common/workspace.hpp"
+#include "mlmd/la/matrix.hpp"
 #include "mlmd/nnq/allegro.hpp"
 #include "mlmd/nnq/descriptor.hpp"
 #include "mlmd/nnq/fidelity.hpp"
@@ -79,6 +81,100 @@ TEST(Mlp, SaveLoadRoundTrip) {
 
 TEST(Mlp, LoadMissingFileThrows) {
   EXPECT_THROW(Mlp::load("/nonexistent/model.txt"), std::runtime_error);
+}
+
+// The batched paths are documented (mlp.hpp) as *bitwise identical* to
+// looping the scalar paths over rows: the GEMM engine reduces each output
+// in ascending-k order with one accumulator, so no reassociation happens.
+TEST(Mlp, BatchedForwardBitwiseMatchesScalar) {
+  Mlp net({6, 16, 9, 2}, 21);
+  mlmd::Rng rng(77);
+  const std::size_t nb = 11;
+  la::Matrix<double> x(nb, net.n_in());
+  for (std::size_t s = 0; s < nb; ++s)
+    for (std::size_t i = 0; i < net.n_in(); ++i) x(s, i) = rng.normal();
+
+  la::Matrix<double> y;
+  net.forward_batch(x, y);
+  ASSERT_EQ(y.rows(), nb);
+  ASSERT_EQ(y.cols(), net.n_out());
+  for (std::size_t s = 0; s < nb; ++s) {
+    std::vector<double> xs(net.n_in());
+    for (std::size_t i = 0; i < net.n_in(); ++i) xs[i] = x(s, i);
+    const auto ys = net.forward(xs);
+    for (std::size_t o = 0; o < net.n_out(); ++o)
+      EXPECT_EQ(y(s, o), ys[o]) << "row " << s << " out " << o;
+  }
+}
+
+TEST(Mlp, BatchedGradInputBitwiseMatchesScalar) {
+  Mlp net({5, 12, 7, 1}, 22);
+  mlmd::Rng rng(78);
+  const std::size_t nb = 9;
+  la::Matrix<double> x(nb, net.n_in());
+  for (std::size_t s = 0; s < nb; ++s)
+    for (std::size_t i = 0; i < net.n_in(); ++i) x(s, i) = rng.normal();
+
+  la::Matrix<double> g, y;
+  net.grad_input_batch(x, g, &y);
+  ASSERT_EQ(g.rows(), nb);
+  ASSERT_EQ(g.cols(), net.n_in());
+  for (std::size_t s = 0; s < nb; ++s) {
+    std::vector<double> xs(net.n_in());
+    for (std::size_t i = 0; i < net.n_in(); ++i) xs[i] = x(s, i);
+    const auto gs = net.grad_input(xs);
+    EXPECT_EQ(y(s, 0), net.value(xs)) << "row " << s;
+    for (std::size_t i = 0; i < net.n_in(); ++i)
+      EXPECT_EQ(g(s, i), gs[i]) << "row " << s << " input " << i;
+  }
+}
+
+TEST(Mlp, BatchedForwardBackwardBitwiseMatchesScalar) {
+  Mlp net({4, 10, 6, 2}, 23);
+  mlmd::Rng rng(79);
+  const std::size_t nb = 7;
+  la::Matrix<double> x(nb, net.n_in()), dl_dy(nb, net.n_out());
+  for (std::size_t s = 0; s < nb; ++s) {
+    for (std::size_t i = 0; i < net.n_in(); ++i) x(s, i) = rng.normal();
+    for (std::size_t o = 0; o < net.n_out(); ++o) dl_dy(s, o) = rng.normal();
+  }
+
+  std::vector<double> grad_ref(net.n_params(), 0.0);
+  std::vector<std::vector<double>> y_ref;
+  for (std::size_t s = 0; s < nb; ++s) {
+    std::vector<double> xs(net.n_in()), ds(net.n_out());
+    for (std::size_t i = 0; i < net.n_in(); ++i) xs[i] = x(s, i);
+    for (std::size_t o = 0; o < net.n_out(); ++o) ds[o] = dl_dy(s, o);
+    y_ref.push_back(net.forward_backward(xs, ds, grad_ref));
+  }
+
+  std::vector<double> grad(net.n_params(), 0.0);
+  la::Matrix<double> y;
+  net.forward_backward_batch(x, dl_dy, grad, y);
+  for (std::size_t s = 0; s < nb; ++s)
+    for (std::size_t o = 0; o < net.n_out(); ++o)
+      EXPECT_EQ(y(s, o), y_ref[s][o]) << "row " << s;
+  for (std::size_t p = 0; p < net.n_params(); ++p)
+    EXPECT_EQ(grad[p], grad_ref[p]) << "param " << p;
+}
+
+// Steady-state batched inference never touches the heap: all scratch
+// lives in the thread-local Workspace arena (DESIGN.md §8).
+TEST(Mlp, BatchedForwardSteadyStateAllocFree) {
+  Mlp net({8, 24, 24, 1}, 24);
+  mlmd::Rng rng(80);
+  la::Matrix<double> x(64, net.n_in());
+  for (std::size_t s = 0; s < x.rows(); ++s)
+    for (std::size_t i = 0; i < x.cols(); ++i) x(s, i) = rng.normal();
+  la::Matrix<double> y, g;
+  net.forward_batch(x, y); // warm-up: arena growth + y resize allowed here
+  net.grad_input_batch(x, g, &y);
+  const auto allocs = mlmd::common::Workspace::total_heap_allocs();
+  for (int rep = 0; rep < 3; ++rep) {
+    net.forward_batch(x, y);
+    net.grad_input_batch(x, g, &y);
+  }
+  EXPECT_EQ(mlmd::common::Workspace::total_heap_allocs(), allocs);
 }
 
 TEST(Adam, MinimizesQuadratic) {
