@@ -22,6 +22,7 @@
 #include "mlmd/mesh/dcmesh.hpp"
 #include "mlmd/mlmd/pipeline.hpp"
 #include "mlmd/nnq/md_driver.hpp"
+#include "mlmd/obs/obs.hpp"
 #include "mlmd/par/thread_pool.hpp"
 #include "mlmd/scf/dc_scf.hpp"
 
@@ -163,7 +164,10 @@ void usage() {
       "usage: mlmd_run <pipeline|mesh|scf|spectrum|nnqmd> [--key=value ...]\n"
       "global options:\n"
       "  --threads=N   intra-node ThreadPool size (default: MLMD_NUM_THREADS\n"
-      "                or hardware concurrency; 1 = deterministic serial)");
+      "                or hardware concurrency; 1 = deterministic serial)\n"
+      "  --trace=PATH  write a Chrome trace-event JSON of kernel/phase/comm\n"
+      "                spans to PATH (or set MLMD_TRACE=PATH); load it in\n"
+      "                chrome://tracing or Perfetto");
 }
 
 } // namespace
@@ -178,11 +182,15 @@ int main(int argc, char** argv) {
   if (cli.has("threads"))
     par::ThreadPool::set_global_threads(
         static_cast<int>(cli.integer("threads", 0)));
-  if (cmd == "pipeline") return run_pipeline_cmd(cli);
-  if (cmd == "mesh") return run_mesh_cmd(cli);
-  if (cmd == "scf") return run_scf_cmd(cli);
-  if (cmd == "spectrum") return run_spectrum_cmd(cli);
-  if (cmd == "nnqmd") return run_nnqmd_cmd(cli);
-  usage();
-  return 1;
+  const std::string trace_path =
+      obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
+  int rc = 1;
+  if (cmd == "pipeline") rc = run_pipeline_cmd(cli);
+  else if (cmd == "mesh") rc = run_mesh_cmd(cli);
+  else if (cmd == "scf") rc = run_scf_cmd(cli);
+  else if (cmd == "spectrum") rc = run_spectrum_cmd(cli);
+  else if (cmd == "nnqmd") rc = run_nnqmd_cmd(cli);
+  else usage();
+  if (!obs::finish_tracing(trace_path) && rc == 0) rc = 1;
+  return rc;
 }

@@ -1,10 +1,24 @@
 #pragma once
-// Minimal perf-record emitter shared by the Table benches (--json=<path>):
-// writes an array of {kernel, gflops, bytes_alloc, seconds} objects, one
-// per measured kernel. `bytes_alloc` is the number of bytes the Workspace
-// arena reserved during the final (steady-state) repetition — the
-// zero-allocation contract makes this 0 after warm-up, and the JSON trail
-// lets CI catch regressions in either throughput or allocation behavior.
+// Minimal perf-record emitter shared by the Table benches (--json=<path>).
+//
+// Schema v2 (see DESIGN.md Sec. 9): a top-level object
+//
+//   {"schema_version": 2, "records": [ {...}, ... ]}
+//
+// with one record per measured kernel carrying
+//   kernel       measured kernel/model name
+//   gflops       sustained throughput of the best repetition
+//   bytes_alloc  Workspace bytes reserved during the final repetition —
+//                the zero-allocation contract makes this 0 after warm-up
+//   seconds      best-repetition wall time
+//   comm_bytes   SimComm payload bytes the measurement moved (obs
+//                registry delta; 0 for single-rank kernels)
+//   comm_seconds SimComm blocked-wait seconds over the measurement
+//   span_count   tracer spans recorded while measuring (0 when tracing
+//                is disabled)
+// The comm_* keys map onto the mlmd::perf machine-model inputs: the
+// measured bytes play the role of the model's per-step communication
+// volume, the wait seconds its latency/bandwidth term.
 
 #include <cstdio>
 #include <string>
@@ -12,27 +26,33 @@
 
 namespace mlmd::benchjson {
 
+inline constexpr int kSchemaVersion = 2;
+
 struct Record {
   std::string kernel;
   double gflops = 0.0;
   unsigned long long bytes_alloc = 0;
   double seconds = 0.0;
+  unsigned long long comm_bytes = 0;
+  double comm_seconds = 0.0;
+  unsigned long long span_count = 0;
 };
 
 inline bool write(const std::string& path, const std::vector<Record>& recs) {
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
-  std::fprintf(fp, "[\n");
+  std::fprintf(fp, "{\"schema_version\": %d, \"records\": [\n", kSchemaVersion);
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];
     std::fprintf(
         fp,
         "  {\"kernel\": \"%s\", \"gflops\": %.6g, \"bytes_alloc\": %llu, "
-        "\"seconds\": %.6g}%s\n",
-        r.kernel.c_str(), r.gflops, r.bytes_alloc, r.seconds,
-        i + 1 < recs.size() ? "," : "");
+        "\"seconds\": %.6g, \"comm_bytes\": %llu, \"comm_seconds\": %.6g, "
+        "\"span_count\": %llu}%s\n",
+        r.kernel.c_str(), r.gflops, r.bytes_alloc, r.seconds, r.comm_bytes,
+        r.comm_seconds, r.span_count, i + 1 < recs.size() ? "," : "");
   }
-  std::fprintf(fp, "]\n");
+  std::fprintf(fp, "]}\n");
   std::fclose(fp);
   return true;
 }

@@ -30,6 +30,7 @@
 #include "mlmd/lfd/kin_prop.hpp"
 #include "mlmd/lfd/nlp_prop.hpp"
 #include "mlmd/maxwell/maxwell3d.hpp"
+#include "mlmd/obs/obs.hpp"
 #include "mlmd/par/thread_pool.hpp"
 
 namespace {
@@ -38,6 +39,7 @@ struct Meas {
   double gflops = 0.0;
   double seconds = 0.0;
   unsigned long long bytes_alloc = 0; ///< arena growth in the final rep
+  unsigned long long span_count = 0;  ///< tracer spans recorded (all reps)
 };
 
 template <class Fn>
@@ -50,6 +52,7 @@ Meas measure(Fn&& fn, int reps) {
   Meas best;
   best.seconds = 1e300;
   unsigned long long last_delta = 0;
+  const auto spans0 = mlmd::obs::Tracer::span_count();
   for (int i = 0; i < reps; ++i) {
     const auto r0 = mlmd::common::Workspace::total_reserved_bytes();
     mlmd::flops::Scope scope;
@@ -63,6 +66,7 @@ Meas measure(Fn&& fn, int reps) {
     }
   }
   best.bytes_alloc = last_delta;
+  best.span_count = mlmd::obs::Tracer::span_count() - spans0;
   return best;
 }
 
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
       paper ? 1024 : static_cast<std::size_t>(cli.integer("norb", 256));
   const std::size_t n = paper ? 24 : static_cast<std::size_t>(cli.integer("n", 16));
   const int reps = static_cast<int>(cli.integer("reps", paper ? 2 : 5));
+  const std::string trace_path =
+      obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
 
   grid::Grid3 g{n, n, n, 0.5, 0.5, 0.5};
   const std::size_t ngrid = g.size();
@@ -142,12 +148,18 @@ int main(int argc, char** argv) {
   (void)ngrid;
 
   if (cli.has("json")) {
+    // Single-process kernels move no SimComm traffic; comm_* stay 0.
     const std::vector<benchjson::Record> recs{
-        {"sgemm_peak_512", peak.gflops, peak.bytes_alloc, peak.seconds},
-        {"cgemm1", cgemm1.gflops, cgemm1.bytes_alloc, cgemm1.seconds},
-        {"cgemm2", cgemm2.gflops, cgemm2.bytes_alloc, cgemm2.seconds},
-        {"nlp_prop", nlp.gflops, nlp.bytes_alloc, nlp.seconds},
-        {"kin_prop", kin.gflops, kin.bytes_alloc, kin.seconds},
+        {"sgemm_peak_512", peak.gflops, peak.bytes_alloc, peak.seconds, 0, 0.0,
+         peak.span_count},
+        {"cgemm1", cgemm1.gflops, cgemm1.bytes_alloc, cgemm1.seconds, 0, 0.0,
+         cgemm1.span_count},
+        {"cgemm2", cgemm2.gflops, cgemm2.bytes_alloc, cgemm2.seconds, 0, 0.0,
+         cgemm2.span_count},
+        {"nlp_prop", nlp.gflops, nlp.bytes_alloc, nlp.seconds, 0, 0.0,
+         nlp.span_count},
+        {"kin_prop", kin.gflops, kin.bytes_alloc, kin.seconds, 0, 0.0,
+         kin.span_count},
     };
     const std::string path = cli.str("json");
     if (!benchjson::write(path, recs))
@@ -181,5 +193,11 @@ int main(int argc, char** argv) {
   scaling_row("maxwell3d", [&] {
     for (int i = 0; i < 10; ++i) em.step();
   });
+
+  if (!trace_path.empty()) {
+    const double gemm_s = obs::Tracer::summed_seconds("gemm");
+    std::printf("# trace: %.4f s total in gemm spans\n", gemm_s);
+    obs::finish_tracing(trace_path);
+  }
   return 0;
 }

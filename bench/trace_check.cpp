@@ -1,0 +1,306 @@
+// trace_check — validator for the two JSON artifacts the benches emit
+// (ctest -L benchsmoke / -L obs):
+//
+//   trace_check <file.json>
+//
+// * A Chrome trace-event file (what --trace=/MLMD_TRACE writes) must be a
+//   top-level ARRAY of complete events: every element an object with a
+//   string "name", "ph" == "X", numeric "ts"/"dur"/"pid"/"tid". That is
+//   exactly the shape chrome://tracing and Perfetto accept.
+// * A bench --json file (benchjson schema v2) must be an OBJECT with an
+//   integer "schema_version" and a "records" array whose elements carry
+//   kernel/gflops/bytes_alloc/seconds/comm_bytes/comm_seconds/span_count.
+//
+// The file kind is detected from the top-level value. Exit 0 on a valid
+// file (a one-line summary is printed), 1 on any structural violation.
+// The parser is a self-contained recursive-descent JSON reader — no
+// third-party dependency, which is the point: it proves the emitters
+// produce well-formed JSON without trusting the emitters' own printf.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+};
+
+class Parser {
+public:
+  Parser(const char* s, std::size_t n) : p_(s), end_(s + n) {}
+
+  ValuePtr parse() {
+    auto v = value();
+    skip_ws();
+    if (p_ != end_) fail("trailing data after top-level value");
+    return v;
+  }
+
+  bool ok() const { return err_.empty(); }
+  const std::string& error() const { return err_; }
+
+private:
+  [[noreturn]] void fail(const std::string& why) {
+    err_ = why;
+    throw std::string(why);
+  }
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  char peek() {
+    skip_ws();
+    if (p_ == end_) fail("unexpected end of input");
+    return *p_;
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++p_;
+  }
+
+  ValuePtr value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  ValuePtr object() {
+    expect('{');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::kObject;
+    if (peek() == '}') {
+      ++p_;
+      return v;
+    }
+    while (true) {
+      auto key = string_value();
+      expect(':');
+      v->obj.emplace(key->str, value());
+      const char c = peek();
+      if (c == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr array() {
+    expect('[');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::kArray;
+    if (peek() == ']') {
+      ++p_;
+      return v;
+    }
+    while (true) {
+      v->arr.push_back(value());
+      const char c = peek();
+      if (c == ',') {
+        ++p_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  ValuePtr string_value() {
+    expect('"');
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::kString;
+    while (true) {
+      if (p_ == end_) fail("unterminated string");
+      const char c = *p_++;
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (p_ == end_) fail("bad escape");
+        const char e = *p_++;
+        switch (e) {
+          case '"': v->str += '"'; break;
+          case '\\': v->str += '\\'; break;
+          case '/': v->str += '/'; break;
+          case 'n': v->str += '\n'; break;
+          case 't': v->str += '\t'; break;
+          case 'r': v->str += '\r'; break;
+          case 'b': v->str += '\b'; break;
+          case 'f': v->str += '\f'; break;
+          case 'u': {
+            // \uXXXX: validate hex, keep the raw escape (names are ASCII).
+            for (int i = 0; i < 4; ++i) {
+              if (p_ == end_ ||
+                  !std::isxdigit(static_cast<unsigned char>(*p_)))
+                fail("bad \\u escape");
+              ++p_;
+            }
+            v->str += '?';
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v->str += c;
+      }
+    }
+  }
+
+  ValuePtr boolean() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::kBool;
+    if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "true") {
+      v->b = true;
+      p_ += 4;
+    } else if (end_ - p_ >= 5 && std::string(p_, p_ + 5) == "false") {
+      v->b = false;
+      p_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  ValuePtr null() {
+    if (end_ - p_ < 4 || std::string(p_, p_ + 4) != "null") fail("bad literal");
+    p_ += 4;
+    return std::make_unique<Value>();
+  }
+
+  ValuePtr number() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(*p_));
+      ++p_;
+    }
+    if (!digits) fail("bad number");
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::kNumber;
+    v->num = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string err_;
+};
+
+const Value* field(const Value& obj, const char* key, Value::Kind kind) {
+  auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second->kind != kind) return nullptr;
+  return it->second.get();
+}
+
+int check_trace(const Value& root) {
+  double total_us = 0.0;
+  for (std::size_t i = 0; i < root.arr.size(); ++i) {
+    const Value& ev = *root.arr[i];
+    if (ev.kind != Value::Kind::kObject) {
+      std::fprintf(stderr, "trace_check: event %zu is not an object\n", i);
+      return 1;
+    }
+    const Value* ph = field(ev, "ph", Value::Kind::kString);
+    if (!field(ev, "name", Value::Kind::kString) || !ph || ph->str != "X" ||
+        !field(ev, "ts", Value::Kind::kNumber) ||
+        !field(ev, "dur", Value::Kind::kNumber) ||
+        !field(ev, "pid", Value::Kind::kNumber) ||
+        !field(ev, "tid", Value::Kind::kNumber)) {
+      std::fprintf(stderr,
+                   "trace_check: event %zu lacks a complete-event shape "
+                   "(name/ph=X/ts/dur/pid/tid)\n",
+                   i);
+      return 1;
+    }
+    total_us += field(ev, "dur", Value::Kind::kNumber)->num;
+  }
+  std::printf("trace_check: OK, %zu complete events, %.3f ms total span time\n",
+              root.arr.size(), total_us / 1e3);
+  return 0;
+}
+
+int check_bench(const Value& root) {
+  const Value* ver = field(root, "schema_version", Value::Kind::kNumber);
+  const Value* recs = field(root, "records", Value::Kind::kArray);
+  if (!ver || !recs) {
+    std::fprintf(stderr,
+                 "trace_check: bench JSON lacks schema_version/records\n");
+    return 1;
+  }
+  static const char* num_keys[] = {"gflops",       "bytes_alloc",
+                                   "seconds",      "comm_bytes",
+                                   "comm_seconds", "span_count"};
+  for (std::size_t i = 0; i < recs->arr.size(); ++i) {
+    const Value& r = *recs->arr[i];
+    if (r.kind != Value::Kind::kObject ||
+        !field(r, "kernel", Value::Kind::kString)) {
+      std::fprintf(stderr, "trace_check: record %zu lacks kernel name\n", i);
+      return 1;
+    }
+    for (const char* k : num_keys)
+      if (!field(r, k, Value::Kind::kNumber)) {
+        std::fprintf(stderr, "trace_check: record %zu lacks numeric %s\n", i,
+                     k);
+        return 1;
+      }
+  }
+  std::printf("trace_check: OK, bench schema v%d, %zu records\n",
+              static_cast<int>(ver->num), recs->arr.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <file.json>\n");
+    return 1;
+  }
+  std::FILE* fp = std::fopen(argv[1], "rb");
+  if (!fp) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string buf;
+  char chunk[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof chunk, fp)) > 0)
+    buf.append(chunk, got);
+  std::fclose(fp);
+
+  ValuePtr root;
+  try {
+    Parser p(buf.data(), buf.size());
+    root = p.parse();
+  } catch (const std::string& err) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", argv[1],
+                 err.c_str());
+    return 1;
+  }
+
+  if (root->kind == Value::Kind::kArray) return check_trace(*root);
+  if (root->kind == Value::Kind::kObject) return check_bench(*root);
+  std::fprintf(stderr, "trace_check: top-level value is neither trace array "
+                       "nor bench object\n");
+  return 1;
+}

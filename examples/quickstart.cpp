@@ -16,6 +16,7 @@
 #include "mlmd/common/units.hpp"
 #include "mlmd/lfd/domain.hpp"
 #include "mlmd/maxwell/pulse.hpp"
+#include "mlmd/obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlmd;
@@ -64,9 +65,11 @@ int main(int argc, char** argv) {
   a[1] = 0.0;
   std::printf("# absorbed energy: %.6f Ha, n_exc proxy: %.4f\n",
               dom.energy(a) - e0_total, dom.n_exc());
+  // Per-kernel breakdown comes from the process-global obs registry: the
+  // propagator kernels accumulate into "lfd.<kernel>.seconds" histograms.
   std::printf("# kernel time breakdown [s]:\n");
-  for (const auto& [name, entry] : dom.timers().entries())
-    std::printf("#   %-10s %8.3f (%llu calls)\n", name.c_str(), entry.seconds,
-                static_cast<unsigned long long>(entry.calls));
+  for (const auto& h : obs::Registry::global().histograms_snapshot("lfd."))
+    std::printf("#   %-22s %8.3f (%llu calls)\n", h.name.c_str(), h.sum,
+                static_cast<unsigned long long>(h.count));
   return 0;
 }

@@ -1,5 +1,13 @@
 #pragma once
 // Wall-clock timers used for all time-to-solution measurements.
+//
+// NOTE: TimerSet/ScopedTimer are deprecated for NEW code. Accumulating
+// per-kernel breakdowns now live in the mlmd::obs registry
+// (obs::Registry::global().histogram("<area>.<kernel>.seconds") with
+// obs::ScopedAccum), which is thread-safe, process-global, and feeds the
+// merged text/JSON reports and the benches. The plain Timer stopwatch
+// below is not deprecated. Existing TimerSet call sites have been
+// migrated; the class stays for local, single-thread ad-hoc timing only.
 
 #include <chrono>
 #include <cstdint>

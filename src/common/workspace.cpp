@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "mlmd/obs/metrics.hpp"
+
 namespace mlmd::common {
 namespace {
 
@@ -61,6 +63,15 @@ void* Workspace::grow(std::size_t bytes) {
   if (!p) throw std::bad_alloc();
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   g_reserved_bytes.fetch_add(cap, std::memory_order_relaxed);
+  // Mirror into the obs registry so grow events show up next to kernel
+  // metrics; grow() is warm-up-only, so registry lookup cost is irrelevant.
+  {
+    auto& reg = obs::Registry::global();
+    static auto& calls = reg.counter("workspace.grow.calls");
+    static auto& rbytes = reg.counter("workspace.grow.bytes");
+    calls.add(1);
+    rbytes.add(cap);
+  }
   blocks_[nblocks_] = Block{p, cap};
   cur_block_ = nblocks_++;
   cur_off_ = bytes;

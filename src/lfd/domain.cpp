@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "mlmd/la/eig.hpp"
+#include "mlmd/obs/metrics.hpp"
+#include "mlmd/obs/trace.hpp"
 #include "mlmd/la/ortho.hpp"
 #include "mlmd/lfd/fermi.hpp"
 #include "mlmd/lfd/hamiltonian.hpp"
@@ -99,35 +101,51 @@ void LfdDomain<Real>::qd_step(const double a[3]) {
   kp.a[1] = a[1];
   kp.a[2] = a[2];
 
+  // Per-kernel accounting goes to the always-on obs registry (histograms
+  // under "lfd.<kernel>.seconds") plus, when tracing, a kernel span; this
+  // replaced the per-domain TimerSet (thread-safe, and one namespace for
+  // every per-kernel breakdown — see DESIGN.md Sec. 9).
+  auto& reg = obs::Registry::global();
   if (opt_.prop_order == PropOrder::kFourth) {
     // Composite Suzuki-Yoshida step (exactly time-reversible, 3x the
     // sweeps — the high-accuracy configuration).
-    ScopedTimer t(timers_, "split_step4");
+    static auto& h = reg.histogram("lfd.split_step4.seconds");
+    obs::ScopedAccum t(h);
+    obs::ObsScope span("lfd.split_step4", obs::Cat::kKernel);
     split_step(wave_, vloc_, kp, PropOrder::kFourth, opt_.kin_variant);
   } else {
+    static auto& hv = reg.histogram("lfd.vloc_prop.seconds");
+    static auto& hk = reg.histogram("lfd.kin_prop.seconds");
     {
-      ScopedTimer t(timers_, "vloc_prop");
+      obs::ScopedAccum t(hv);
+      obs::ObsScope span("lfd.vloc_prop", obs::Cat::kKernel);
       vloc_prop(wave_, vloc_, 0.5 * dt);
     }
     {
-      ScopedTimer t(timers_, "kin_prop");
+      obs::ScopedAccum t(hk);
+      obs::ObsScope span("lfd.kin_prop", obs::Cat::kKernel);
       kin_prop(wave_, kp, opt_.kin_variant);
     }
     {
-      ScopedTimer t(timers_, "vloc_prop");
+      obs::ScopedAccum t(hv);
+      obs::ObsScope span("lfd.vloc_prop", obs::Cat::kKernel);
       vloc_prop(wave_, vloc_, 0.5 * dt);
     }
   }
 
   ++steps_;
   if (opt_.nlp_every > 0 && steps_ % opt_.nlp_every == 0) {
-    ScopedTimer t(timers_, "nlp_prop");
+    static auto& h = reg.histogram("lfd.nlp_prop.seconds");
+    obs::ScopedAccum t(h);
+    obs::ObsScope span("lfd.nlp_prop", obs::Cat::kKernel);
     nlp_prop(wave_, psi0_, opt_.scissor_delta * (dt * opt_.nlp_every),
              opt_.gemm_mode);
   }
   if (opt_.self_consistent && opt_.hartree_every > 0 &&
       steps_ % opt_.hartree_every == 0) {
-    ScopedTimer t(timers_, "hartree");
+    static auto& h = reg.histogram("lfd.hartree.seconds");
+    obs::ScopedAccum t(h);
+    obs::ObsScope span("lfd.hartree", obs::Cat::kKernel);
     hartree_.update(density(wave_, f_));
     refresh_potential();
   }

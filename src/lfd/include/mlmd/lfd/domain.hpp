@@ -18,7 +18,6 @@
 #include <complex>
 #include <vector>
 
-#include "mlmd/common/timer.hpp"
 #include "mlmd/la/gemm.hpp"
 #include "mlmd/lfd/density.hpp"
 #include "mlmd/lfd/dsa.hpp"
@@ -97,7 +96,6 @@ public:
   const grid::Grid3& grid() const { return wave_.grid; }
   std::size_t norb() const { return wave_.norb; }
   const LfdOptions& options() const { return opt_; }
-  TimerSet& timers() { return timers_; }
   int steps_taken() const { return steps_; }
 
 private:
@@ -111,7 +109,6 @@ private:
   std::vector<double> vion_;      ///< static ionic part
   std::vector<Ion> ions_;
   DsaHartree hartree_;
-  TimerSet timers_;
   int steps_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "mlmd/lfd/hamiltonian.hpp"
+#include "mlmd/obs/metrics.hpp"
+#include "mlmd/obs/trace.hpp"
 
 namespace mlmd::mesh {
 
@@ -32,80 +34,108 @@ StepStats DcMeshDomain::md_step_with_a(double a_value) {
 StepStats DcMeshDomain::md_step_impl(const maxwell::Pulse* pulse, double fixed_a,
                                      bool use_fixed_a) {
   StepStats stats;
+  obs::ObsScope step_span("mesh.md_step", obs::Cat::kStep);
   const double dt_md = md_dt();
   const grid::Grid3& g = lfd_.grid();
 
   // --- QXMD side (FP64): Ehrenfest forces on ions from the density -----
-  auto rho = lfd_.density_field();
-  for (std::size_t i = 0; i < ions_.size(); ++i) {
-    auto f_el = lfd::ion_force(g, rho, ions_[i]);
-    // Harmonic tether to the reference site (stands in for the lattice's
-    // short-range ion-ion repulsion keeping the toy crystal bound).
-    for (int k = 0; k < 3; ++k) {
-      const double* r0 = &ions0_[i].x;
-      const double* r = &ions_[i].x;
-      f_el[static_cast<std::size_t>(k)] -=
-          opt_.ion_spring * (r[k] - r0[k]);
+  {
+    obs::ObsScope phase("mesh.forces", obs::Cat::kPhase);
+    auto rho = lfd_.density_field();
+    for (std::size_t i = 0; i < ions_.size(); ++i) {
+      auto f_el = lfd::ion_force(g, rho, ions_[i]);
+      // Harmonic tether to the reference site (stands in for the lattice's
+      // short-range ion-ion repulsion keeping the toy crystal bound).
+      for (int k = 0; k < 3; ++k) {
+        const double* r0 = &ions0_[i].x;
+        const double* r = &ions_[i].x;
+        f_el[static_cast<std::size_t>(k)] -=
+            opt_.ion_spring * (r[k] - r0[k]);
+      }
+      ion_force_prev_[i] = f_el;
     }
-    ion_force_prev_[i] = f_el;
-  }
 
-  // Velocity Verlet (single MD step) and max displacement tracking.
-  for (std::size_t i = 0; i < ions_.size(); ++i) {
-    double* r = &ions_[i].x;
-    double disp2 = 0.0;
-    for (int k = 0; k < 3; ++k) {
-      ion_vel_[i][static_cast<std::size_t>(k)] +=
-          0.5 * dt_md * ion_force_prev_[i][static_cast<std::size_t>(k)] / opt_.ion_mass;
-      const double dr = dt_md * ion_vel_[i][static_cast<std::size_t>(k)];
-      r[k] += dr;
-      disp2 += dr * dr;
+    // Velocity Verlet (single MD step) and max displacement tracking.
+    for (std::size_t i = 0; i < ions_.size(); ++i) {
+      double* r = &ions_[i].x;
+      double disp2 = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        ion_vel_[i][static_cast<std::size_t>(k)] +=
+            0.5 * dt_md * ion_force_prev_[i][static_cast<std::size_t>(k)] / opt_.ion_mass;
+        const double dr = dt_md * ion_vel_[i][static_cast<std::size_t>(k)];
+        r[k] += dr;
+        disp2 += dr * dr;
+      }
+      stats.ion_max_disp = std::max(stats.ion_max_disp, std::sqrt(disp2));
     }
-    stats.ion_max_disp = std::max(stats.ion_max_disp, std::sqrt(disp2));
   }
 
   // --- shadow dynamics exchange QXMD -> LFD: delta_v_loc ---------------
   // LfdDomain holds the cumulative ionic potential; only the increment
   // against the last transmitted potential crosses the boundary.
-  auto v_new = lfd::ionic_potential(g, ions_);
-  if (v_last_.empty()) v_last_ = lfd::ionic_potential(g, ions0_);
-  std::vector<double> dv(v_new.size());
-  for (std::size_t i = 0; i < dv.size(); ++i) dv[i] = v_new[i] - v_last_[i];
-  v_last_ = v_new;
-  lfd_.apply_delta_vloc(dv);
-  stats.bytes_qxmd_to_lfd = dv.size() * sizeof(double);
+  {
+    obs::ObsScope phase("mesh.exchange.dv", obs::Cat::kPhase);
+    auto v_new = lfd::ionic_potential(g, ions_);
+    if (v_last_.empty()) v_last_ = lfd::ionic_potential(g, ions0_);
+    std::vector<double> dv(v_new.size());
+    for (std::size_t i = 0; i < dv.size(); ++i) dv[i] = v_new[i] - v_last_[i];
+    v_last_ = v_new;
+    lfd_.apply_delta_vloc(dv);
+    stats.bytes_qxmd_to_lfd = dv.size() * sizeof(double);
+  }
 
   // --- LFD side (FP32 shadow proxy): N_QD steps of Eq. (2) -------------
   double a[3] = {0, 0, 0};
-  for (int n = 0; n < opt_.nqd_per_md; ++n) {
-    const double tq = t_ + (n + 0.5) * opt_.lfd.dt_qd;
-    a[opt_.polarization_axis] =
-        use_fixed_a ? fixed_a : (pulse ? pulse->apot(tq) : 0.0);
-    lfd_.qd_step(a);
+  {
+    obs::ObsScope phase("mesh.qd_loop", obs::Cat::kPhase);
+    for (int n = 0; n < opt_.nqd_per_md; ++n) {
+      const double tq = t_ + (n + 0.5) * opt_.lfd.dt_qd;
+      a[opt_.polarization_axis] =
+          use_fixed_a ? fixed_a : (pulse ? pulse->apot(tq) : 0.0);
+      lfd_.qd_step(a);
+    }
   }
 
   // Second Verlet half-kick with fresh forces.
-  rho = lfd_.density_field();
-  for (std::size_t i = 0; i < ions_.size(); ++i) {
-    auto f_el = lfd::ion_force(g, rho, ions_[i]);
-    for (int k = 0; k < 3; ++k) {
-      const double* r0 = &ions0_[i].x;
-      const double* r = &ions_[i].x;
-      f_el[static_cast<std::size_t>(k)] -= opt_.ion_spring * (r[k] - r0[k]);
-      ion_vel_[i][static_cast<std::size_t>(k)] +=
-          0.5 * dt_md * f_el[static_cast<std::size_t>(k)] / opt_.ion_mass;
+  {
+    obs::ObsScope phase("mesh.forces", obs::Cat::kPhase);
+    auto rho = lfd_.density_field();
+    for (std::size_t i = 0; i < ions_.size(); ++i) {
+      auto f_el = lfd::ion_force(g, rho, ions_[i]);
+      for (int k = 0; k < 3; ++k) {
+        const double* r0 = &ions0_[i].x;
+        const double* r = &ions_[i].x;
+        f_el[static_cast<std::size_t>(k)] -= opt_.ion_spring * (r[k] - r0[k]);
+        ion_vel_[i][static_cast<std::size_t>(k)] +=
+            0.5 * dt_md * f_el[static_cast<std::size_t>(k)] / opt_.ion_mass;
+      }
     }
   }
 
   // --- surface hopping at the MD boundary (U_SH) -----------------------
-  auto h_orb = lfd::orbital_hamiltonian(lfd_.wave(), lfd_.vloc(), a);
-  sh_.step(h_orb, lfd_.occupations(), dt_md);
+  {
+    obs::ObsScope phase("mesh.sh", obs::Cat::kPhase);
+    auto h_orb = lfd::orbital_hamiltonian(lfd_.wave(), lfd_.vloc(), a);
+    sh_.step(h_orb, lfd_.occupations(), dt_md);
+  }
 
   // --- shadow dynamics exchange LFD -> QXMD: delta_f -------------------
   auto df = lfd_.take_delta_occupations();
   for (double d : df) stats.delta_f_norm += d * d;
   stats.delta_f_norm = std::sqrt(stats.delta_f_norm);
   stats.bytes_lfd_to_qxmd = df.size() * sizeof(double);
+
+  // Shadow-boundary traffic, aggregated across all steps/domains of the
+  // process (per-step values stay in StepStats).
+  {
+    auto& reg = obs::Registry::global();
+    static auto& steps = reg.counter("mesh.md_steps");
+    static auto& b_down = reg.counter("mesh.bytes_qxmd_to_lfd");
+    static auto& b_up = reg.counter("mesh.bytes_lfd_to_qxmd");
+    steps.add(1);
+    b_down.add(stats.bytes_qxmd_to_lfd);
+    b_up.add(stats.bytes_lfd_to_qxmd);
+  }
   stats.wavefunction_bytes =
       lfd_.wave().psi.size() * sizeof(std::complex<float>);
   stats.n_exc = lfd_.n_exc();

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "mlmd/obs/metrics.hpp"
+
 namespace mlmd::mesh {
 namespace {
 
@@ -26,6 +28,10 @@ void Recorder::record(const DcMeshDomain& dom, const StepStats& stats,
   row.delta_f_norm = stats.delta_f_norm;
   row.shadow_bytes = stats.bytes_qxmd_to_lfd + stats.bytes_lfd_to_qxmd;
   rows_.push_back(row);
+  static auto& frames = obs::Registry::global().counter("recorder.frames");
+  static auto& bytes = obs::Registry::global().counter("recorder.shadow_bytes");
+  frames.add(1);
+  bytes.add(row.shadow_bytes);
 }
 
 std::vector<double> Recorder::n_exc_series() const {

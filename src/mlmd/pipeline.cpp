@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mlmd/obs/trace.hpp"
 #include "mlmd/topo/topology.hpp"
 
 namespace mlmd::pipeline {
@@ -25,15 +26,20 @@ void step_with_forces(ferro::FerroLattice& lat,
 
 PipelineResult run_pipeline(const PipelineOptions& opt, bool dark) {
   PipelineResult res;
+  obs::ObsScope run_span("pipeline.run", obs::Cat::kStep);
 
   // ---- Stage 1: GS preparation of the skyrmion superlattice ------------
   ferro::FerroLattice lat(opt.lattice, opt.lattice, opt.ferro);
-  topo::init_skyrmion_superlattice(lat, opt.superlattice, opt.superlattice);
-  for (int i = 0; i < opt.relax_steps; ++i) lat.step();
-  res.q_initial = topo::topological_charge(lat);
+  {
+    obs::ObsScope phase("pipeline.gs_prepare", obs::Cat::kPhase);
+    topo::init_skyrmion_superlattice(lat, opt.superlattice, opt.superlattice);
+    for (int i = 0; i < opt.relax_steps; ++i) lat.step();
+    res.q_initial = topo::topological_charge(lat);
+  }
 
   // ---- Stage 2: DC-MESH photoexcitation probe ---------------------------
   if (!dark) {
+    obs::ObsScope phase("pipeline.mesh_probe", obs::Cat::kPhase);
     grid::Grid3 g{opt.grid_n, opt.grid_n, opt.grid_n, 0.7, 0.7, 0.7};
     std::vector<lfd::Ion> ions = {
         lfd::Ion{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 1.6, 2.0}};
@@ -48,6 +54,7 @@ PipelineResult run_pipeline(const PipelineOptions& opt, bool dark) {
   res.w = nnq::excitation_weight(res.n_exc, opt.n_sat);
 
   // ---- Stage 3: XS dynamics with Eq. (4) force mixing -------------------
+  obs::ObsScope phase("pipeline.xs_dynamics", obs::Cat::kPhase);
   res.q_history.push_back(res.q_initial);
   if (opt.backend == ForceBackend::kExact) {
     // Excitation folds into the well coefficient: w scales A(w)=A0(1-2w).

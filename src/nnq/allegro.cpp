@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mlmd/common/flops.hpp"
+#include "mlmd/obs/trace.hpp"
 
 namespace mlmd::nnq {
 
@@ -48,6 +49,7 @@ double AtomModel::energy_forces(const qxmd::Atoms& atoms,
                                 const qxmd::NeighborList& nl,
                                 std::vector<double>& forces,
                                 std::size_t block_size) const {
+  obs::ObsScope span("nnq.energy_forces", obs::Cat::kKernel);
   const std::size_t n = atoms.n();
   const std::size_t nb = basis_.size();
   const std::size_t nbt = nb * static_cast<std::size_t>(ntypes_);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mlmd/obs/trace.hpp"
 #include "mlmd/nnq/optimizer.hpp"
 
 namespace mlmd::nnq {
@@ -14,6 +15,7 @@ NnqmdDriver::NnqmdDriver(const AtomModel& gs, const AtomModel* xs,
 }
 
 double NnqmdDriver::compute_forces(double n_exc) {
+  obs::ObsScope phase("nnq.forces", obs::Cat::kPhase);
   double e = gs_.energy_forces(atoms_, *nl_, f_, opt_.block_size);
   if (xs_) {
     const double w = excitation_weight(n_exc, opt_.n_sat);
@@ -28,6 +30,7 @@ double NnqmdDriver::compute_forces(double n_exc) {
 }
 
 double NnqmdDriver::step(double n_exc) {
+  obs::ObsScope step_span("nnq.md_step", obs::Cat::kStep);
   const std::size_t n = atoms_.n();
   const double dt = opt_.dt;
 

@@ -1,0 +1,176 @@
+#pragma once
+// mlmd::obs metrics registry (DESIGN.md Sec. 9): named counters, gauges
+// and histograms with per-rank / per-thread aggregation, always on.
+//
+// Instruments are registered once by name in the process-global Registry
+// (mutex-protected map; registration is the only locking path) and the
+// returned references stay valid for the life of the process, so hot
+// paths do the idiomatic
+//
+//   static auto& c = obs::Registry::global().counter("simcomm.p2p.bytes");
+//   c.add(n);
+//
+// and pay one relaxed atomic RMW per update — safe from any thread,
+// including ThreadPool workers and SimComm rank threads.
+//
+// Per-rank aggregation: counter(name, rank) registers "name.r<rank>"
+// lanes; merged reporting sums lanes back into the base name. Per-thread
+// aggregation is the instruments' atomics themselves (threads share one
+// cell; the tracer, not the registry, carries per-thread attribution).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlmd::obs {
+
+/// Monotonic unsigned counter (bytes moved, messages, calls, allocs).
+class Counter {
+public:
+  void add(std::uint64_t v = 1) { v_.fetch_add(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (imbalance ratio, queue depth, thread count).
+class Gauge {
+public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming count/sum/min/max of double samples (span seconds, queue
+/// wait, payload sizes). No buckets: the benches and reports need totals
+/// and extremes, not quantiles.
+class Histogram {
+public:
+  void observe(double x) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    add_double(sum_, x);
+    update_min(x);
+    update_max(x);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const auto n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void reset();
+
+private:
+  static void add_double(std::atomic<double>& a, double x) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+    }
+  }
+  void update_min(double x) {
+    double cur = min_.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !min_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(double x) {
+    double cur = max_.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{1e300};
+  std::atomic<double> max_{-1e300};
+};
+
+/// Process-global instrument registry.
+class Registry {
+public:
+  static Registry& global();
+
+  /// Get-or-register. References stay valid forever; concurrent calls for
+  /// the same name return the same instrument. Registering one name as
+  /// two different kinds throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Per-rank lane: instrument named "<name>.r<rank>".
+  Counter& counter(std::string_view name, int rank);
+  Histogram& histogram(std::string_view name, int rank);
+
+  /// Sum of every counter lane whose name is `name` or "<name>.r<k>" —
+  /// the merged per-rank view.
+  std::uint64_t merged_counter(std::string_view name) const;
+
+  /// Zero every instrument (registrations survive).
+  void reset();
+
+  /// Human-readable table: one "name kind value..." line per instrument,
+  /// sorted by name.
+  std::string report_text() const;
+  /// Single JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count,sum,min,max}, ...}}.
+  std::string report_json() const;
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  std::vector<CounterSample> counters_snapshot() const;
+
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count;
+    double sum, min, max;
+  };
+  /// Histograms whose name starts with `prefix` (all if empty), sorted by
+  /// name — the enumeration path for per-kernel breakdown tables.
+  std::vector<HistogramSample> histograms_snapshot(
+      std::string_view prefix = {}) const;
+
+private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Cell {
+    Kind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+  Cell& cell(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Cell, std::less<>> cells_;
+};
+
+/// RAII region that observe()s its lifetime in seconds into a Histogram.
+/// The always-on replacement for the deprecated mlmd::ScopedTimer — cheap
+/// (two clock reads + three relaxed RMWs) and thread-safe, unlike
+/// TimerSet.
+class ScopedAccum {
+public:
+  explicit ScopedAccum(Histogram& h);
+  ~ScopedAccum();
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+private:
+  Histogram& h_;
+  std::uint64_t t0_ns_;
+};
+
+} // namespace mlmd::obs

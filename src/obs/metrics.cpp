@@ -1,0 +1,201 @@
+#include "mlmd/obs/metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mlmd::obs {
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string ranked_name(std::string_view name, int rank) {
+  std::string s(name);
+  s += ".r";
+  s += std::to_string(rank);
+  return s;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+} // namespace
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(1e300, std::memory_order_relaxed);
+  max_.store(-1e300, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry; // leaked: instruments may be updated
+  return *r;                         // from static destructors at exit
+}
+
+Registry::Cell& Registry::cell(std::string_view name, Kind kind) {
+  std::lock_guard lk(mu_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    Cell c;
+    c.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: c.c = std::make_unique<Counter>(); break;
+      case Kind::kGauge: c.g = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: c.h = std::make_unique<Histogram>(); break;
+    }
+    it = cells_.emplace(std::string(name), std::move(c)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs::Registry: instrument '" + std::string(name) +
+                           "' registered with two kinds");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *cell(name, Kind::kCounter).c;
+}
+Gauge& Registry::gauge(std::string_view name) {
+  return *cell(name, Kind::kGauge).g;
+}
+Histogram& Registry::histogram(std::string_view name) {
+  return *cell(name, Kind::kHistogram).h;
+}
+Counter& Registry::counter(std::string_view name, int rank) {
+  return counter(ranked_name(name, rank));
+}
+Histogram& Registry::histogram(std::string_view name, int rank) {
+  return histogram(ranked_name(name, rank));
+}
+
+std::uint64_t Registry::merged_counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  std::lock_guard lk(mu_);
+  for (const auto& [n, c] : cells_) {
+    if (c.kind != Kind::kCounter) continue;
+    if (n == name) {
+      total += c.c->value();
+    } else if (n.size() > name.size() + 2 &&
+               n.compare(0, name.size(), name) == 0 &&
+               n.compare(name.size(), 2, ".r") == 0) {
+      total += c.c->value();
+    }
+  }
+  return total;
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [n, c] : cells_) {
+    switch (c.kind) {
+      case Kind::kCounter: c.c->reset(); break;
+      case Kind::kGauge: c.g->reset(); break;
+      case Kind::kHistogram: c.h->reset(); break;
+    }
+  }
+}
+
+std::string Registry::report_text() const {
+  std::string out;
+  std::lock_guard lk(mu_);
+  for (const auto& [n, c] : cells_) {
+    out += n;
+    switch (c.kind) {
+      case Kind::kCounter:
+        out += " counter ";
+        out += std::to_string(c.c->value());
+        break;
+      case Kind::kGauge:
+        out += " gauge ";
+        append_double(out, c.g->value());
+        break;
+      case Kind::kHistogram:
+        out += " hist count=";
+        out += std::to_string(c.h->count());
+        out += " sum=";
+        append_double(out, c.h->sum());
+        if (c.h->count() > 0) {
+          out += " min=";
+          append_double(out, c.h->min());
+          out += " max=";
+          append_double(out, c.h->max());
+        }
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::report_json() const {
+  std::string cnt, gau, his;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& [n, c] : cells_) {
+      switch (c.kind) {
+        case Kind::kCounter:
+          if (!cnt.empty()) cnt += ", ";
+          cnt += "\"" + n + "\": " + std::to_string(c.c->value());
+          break;
+        case Kind::kGauge:
+          if (!gau.empty()) gau += ", ";
+          gau += "\"" + n + "\": ";
+          append_double(gau, c.g->value());
+          break;
+        case Kind::kHistogram: {
+          if (!his.empty()) his += ", ";
+          his += "\"" + n + "\": {\"count\": " + std::to_string(c.h->count()) +
+                 ", \"sum\": ";
+          append_double(his, c.h->sum());
+          if (c.h->count() > 0) {
+            his += ", \"min\": ";
+            append_double(his, c.h->min());
+            his += ", \"max\": ";
+            append_double(his, c.h->max());
+          }
+          his += "}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\": {" + cnt + "}, \"gauges\": {" + gau +
+         "}, \"histograms\": {" + his + "}}";
+}
+
+std::vector<Registry::CounterSample> Registry::counters_snapshot() const {
+  std::vector<CounterSample> out;
+  std::lock_guard lk(mu_);
+  for (const auto& [n, c] : cells_)
+    if (c.kind == Kind::kCounter) out.push_back({n, c.c->value()});
+  return out;
+}
+
+std::vector<Registry::HistogramSample> Registry::histograms_snapshot(
+    std::string_view prefix) const {
+  std::vector<HistogramSample> out;
+  std::lock_guard lk(mu_);
+  for (const auto& [n, c] : cells_) {
+    if (c.kind != Kind::kHistogram) continue;
+    if (!prefix.empty() &&
+        (n.size() < prefix.size() || n.compare(0, prefix.size(), prefix) != 0))
+      continue;
+    out.push_back({n, c.h->count(), c.h->sum(), c.h->min(), c.h->max()});
+  }
+  return out;
+}
+
+ScopedAccum::ScopedAccum(Histogram& h) : h_(h), t0_ns_(mono_ns()) {}
+ScopedAccum::~ScopedAccum() {
+  h_.observe(static_cast<double>(mono_ns() - t0_ns_) * 1e-9);
+}
+
+} // namespace mlmd::obs

@@ -1,0 +1,46 @@
+#include "mlmd/obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlmd::obs {
+
+std::string init_tracing(const std::string& cli_path) {
+  std::string path = cli_path;
+  if (path.empty()) {
+    const char* env = std::getenv("MLMD_TRACE");
+    if (env && *env) path = env;
+  }
+  if (!path.empty()) Tracer::enable(true);
+  return path;
+}
+
+bool finish_tracing(const std::string& path) {
+  if (path.empty()) return true;
+  Tracer::enable(false);
+  const bool ok = Tracer::write_chrome_trace(path);
+  if (ok) {
+    std::fprintf(stderr, "[obs] wrote %llu spans (%llu dropped) to %s\n",
+                 static_cast<unsigned long long>(Tracer::span_count()),
+                 static_cast<unsigned long long>(Tracer::dropped()),
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] cannot write trace to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+CommTotals comm_totals() {
+  CommTotals t;
+  auto& reg = Registry::global();
+  for (const auto& c : reg.counters_snapshot()) {
+    if (c.name.rfind("simcomm.", 0) == 0 &&
+        c.name.size() > 6 &&
+        c.name.compare(c.name.size() - 6, 6, ".bytes") == 0)
+      t.bytes += c.value;
+  }
+  t.wait_seconds = reg.histogram("simcomm.wait.seconds").sum();
+  return t;
+}
+
+} // namespace mlmd::obs

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "mlmd/obs/trace.hpp"
+
 namespace mlmd::par {
 
 /// Aggregate traffic counters for one run (summed over all ranks).
@@ -32,6 +34,23 @@ struct TrafficStats {
   std::uint64_t p2p_bytes = 0;      ///< point-to-point payload bytes
   std::uint64_t collective_ops = 0; ///< collective invocations (per rank)
   std::uint64_t collective_bytes = 0;
+};
+
+/// Calls and contributed payload bytes of one operation kind on one rank.
+struct RankOpStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Exact per-rank communication account (obs subsystem, DESIGN.md
+/// Sec. 9): every collective entry, point-to-point message, and the wall
+/// time this rank spent blocked waiting on peers. Op keys are the Comm
+/// method names: "barrier", "broadcast", "gather", "allgatherv",
+/// "allreduce", "send", "recv" (allgather and sendrecv account under the
+/// primitives they are built from).
+struct RankTraffic {
+  std::map<std::string, RankOpStats> ops;
+  double wait_seconds = 0.0; ///< total time blocked in barrier/exchange/recv
 };
 
 namespace detail {
@@ -44,12 +63,14 @@ public:
 
   int size() const { return nranks_; }
 
-  void barrier();
+  void barrier(int rank);
   /// Collective byte exchange: every rank contributes `contrib`; rank
   /// `root` (or all, if `to_all`) receives the concatenation ordered by
   /// rank. Implements broadcast/gather/allgather/reduce generically.
+  /// `op` names the calling Comm method for per-rank accounting; it must
+  /// be a string literal (stored, never copied).
   std::vector<std::byte> exchange(int rank, std::span<const std::byte> contrib,
-                                  int root, bool to_all);
+                                  int root, bool to_all, const char* op);
 
   void send(int src, int dst, int tag, std::span<const std::byte> payload);
   std::vector<std::byte> recv(int dst, int src, int tag);
@@ -60,9 +81,14 @@ public:
   void abort(const std::string& reason);
 
   TrafficStats stats() const;
+  RankTraffic rank_traffic(int rank) const;
   void reset_stats();
 
 private:
+  /// Account one op entry for `rank` and publish to the obs registry.
+  void account(int rank, const char* op, std::size_t bytes);
+  /// Account wall time `rank` just spent blocked.
+  void account_wait(int rank, double seconds);
   struct Key {
     int src, dst, tag;
     bool operator<(const Key& o) const {
@@ -104,6 +130,7 @@ private:
 
   mutable std::mutex stats_mu_;
   TrafficStats stats_;
+  std::vector<RankTraffic> rank_traffic_;
 };
 
 } // namespace detail
@@ -120,16 +147,20 @@ public:
   int rank() const { return rank_; }
   int size() const { return state_->size(); }
 
-  void barrier() { state_->barrier(); }
+  void barrier() {
+    obs::ObsScope span("comm.barrier", obs::Cat::kComm);
+    state_->barrier(rank_);
+  }
 
   /// Broadcast `data` from `root` to every rank (in place).
   template <class T>
   void broadcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    obs::ObsScope span("comm.broadcast", obs::Cat::kComm);
     std::span<const std::byte> contrib;
     if (rank_ == root)
       contrib = std::as_bytes(std::span<const T>(data));
-    auto all = state_->exchange(rank_, contrib, -1, true);
+    auto all = state_->exchange(rank_, contrib, -1, true, "broadcast");
     data.resize(all.size() / sizeof(T));
     std::memcpy(data.data(), all.data(), all.size());
   }
@@ -138,8 +169,9 @@ public:
   template <class T>
   std::vector<T> gather(const T& v, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    obs::ObsScope span("comm.gather", obs::Cat::kComm);
     auto bytes = state_->exchange(rank_, std::as_bytes(std::span<const T>(&v, 1)),
-                                  root, false);
+                                  root, false, "gather");
     return unpack<T>(bytes);
   }
 
@@ -147,7 +179,9 @@ public:
   template <class T>
   std::vector<T> allgatherv(std::span<const T> block) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = state_->exchange(rank_, std::as_bytes(block), -1, true);
+    obs::ObsScope span("comm.allgatherv", obs::Cat::kComm);
+    auto bytes = state_->exchange(rank_, std::as_bytes(block), -1, true,
+                                  "allgatherv");
     return unpack<T>(bytes);
   }
 
@@ -160,7 +194,9 @@ public:
   template <class T>
   std::vector<T> allreduce(std::span<const T> v, ReduceOp op) {
     static_assert(std::is_arithmetic_v<T>);
-    auto all = allgatherv(v);
+    obs::ObsScope span("comm.allreduce", obs::Cat::kComm);
+    auto all = unpack<T>(
+        state_->exchange(rank_, std::as_bytes(v), -1, true, "allreduce"));
     const std::size_t n = v.size();
     // Fold rank-ordered blocks starting from rank 0's so every rank
     // computes the identical result.
@@ -187,12 +223,14 @@ public:
   template <class T>
   void send(int dst, int tag, std::span<const T> payload) {
     static_assert(std::is_trivially_copyable_v<T>);
+    obs::ObsScope span("comm.send", obs::Cat::kComm);
     state_->send(rank_, dst, tag, std::as_bytes(payload));
   }
 
   /// Blocking tagged receive; blocks until a matching message arrives.
   template <class T>
   std::vector<T> recv(int src, int tag) {
+    obs::ObsScope span("comm.recv", obs::Cat::kComm);
     auto bytes = state_->recv(rank_, src, tag);
     return unpack<T>(bytes);
   }
@@ -200,11 +238,15 @@ public:
   /// Paired exchange (halo pattern): send to `dst`, receive from `src`.
   template <class T>
   std::vector<T> sendrecv(int dst, std::span<const T> payload, int src, int tag) {
+    obs::ObsScope span("comm.sendrecv", obs::Cat::kComm);
     send(dst, tag, payload);
     return recv<T>(src, tag);
   }
 
   TrafficStats stats() const { return state_->stats(); }
+  /// This rank's exact communication account (per-op calls/bytes, wait
+  /// time) since construction or the last reset_stats().
+  RankTraffic rank_traffic() const { return state_->rank_traffic(rank_); }
   void reset_stats() { state_->reset_stats(); }
 
 private:

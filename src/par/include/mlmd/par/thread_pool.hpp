@@ -105,8 +105,10 @@ private:
   /// Dispatch chunk(c) for c in [0, nchunks) across the pool.
   void run_chunks(std::size_t nchunks,
                   const std::function<void(std::size_t)>& chunk);
-  void work_on(const std::shared_ptr<Task>& t);
-  void worker_loop();
+  /// `self` is the participant index for per-thread chunk accounting:
+  /// workers are 0..nthreads-2, the launcher is nthreads-1.
+  void work_on(const std::shared_ptr<Task>& t, int self);
+  void worker_loop(int self);
 
   int nthreads_ = 1;
   std::vector<std::thread> workers_;

@@ -1,15 +1,50 @@
 #include "mlmd/par/simcomm.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
+#include "mlmd/obs/metrics.hpp"
+
 namespace mlmd::par {
 namespace detail {
+namespace {
+
+// Wall time since an arbitrary epoch, for wait accounting.
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
 
 GroupState::GroupState(int nranks)
     : nranks_(nranks), contrib_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)),
-      deposited_(static_cast<std::size_t>(nranks > 0 ? nranks : 0), 0) {
+      deposited_(static_cast<std::size_t>(nranks > 0 ? nranks : 0), 0),
+      rank_traffic_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)) {
   if (nranks <= 0) throw std::invalid_argument("SimComm: nranks must be > 0");
+}
+
+void GroupState::account(int rank, const char* op, std::size_t bytes) {
+  {
+    std::lock_guard sg(stats_mu_);
+    auto& e = rank_traffic_[static_cast<std::size_t>(rank)].ops[op];
+    e.calls += 1;
+    e.bytes += bytes;
+  }
+  auto& reg = obs::Registry::global();
+  reg.counter(std::string("simcomm.") + op + ".calls").add(1);
+  reg.counter(std::string("simcomm.") + op + ".bytes").add(bytes);
+}
+
+void GroupState::account_wait(int rank, double seconds) {
+  {
+    std::lock_guard sg(stats_mu_);
+    rank_traffic_[static_cast<std::size_t>(rank)].wait_seconds += seconds;
+  }
+  static auto& h = obs::Registry::global().histogram("simcomm.wait.seconds");
+  h.observe(seconds);
 }
 
 void GroupState::throw_if_aborted_locked() const {
@@ -28,30 +63,43 @@ void GroupState::abort(const std::string& reason) {
   cv_.notify_all();
 }
 
-void GroupState::barrier() {
-  std::unique_lock lk(mu_);
-  throw_if_aborted_locked();
-  const std::uint64_t gen = barrier_generation_;
-  if (++barrier_arrived_ == nranks_) {
-    barrier_arrived_ = 0;
-    ++barrier_generation_;
-    cv_.notify_all();
-  } else {
-    cv_.wait(lk, [&] { return aborted_ || barrier_generation_ != gen; });
+void GroupState::barrier(int rank) {
+  double waited = 0.0;
+  {
+    std::unique_lock lk(mu_);
     throw_if_aborted_locked();
+    const std::uint64_t gen = barrier_generation_;
+    if (++barrier_arrived_ == nranks_) {
+      barrier_arrived_ = 0;
+      ++barrier_generation_;
+      cv_.notify_all();
+    } else {
+      const double w0 = mono_seconds();
+      cv_.wait(lk, [&] { return aborted_ || barrier_generation_ != gen; });
+      waited = mono_seconds() - w0;
+      throw_if_aborted_locked();
+    }
   }
+  account(rank, "barrier", 0);
+  if (waited > 0.0) account_wait(rank, waited);
 }
 
 std::vector<std::byte> GroupState::exchange(int rank,
                                             std::span<const std::byte> contrib,
-                                            int root, bool to_all) {
+                                            int root, bool to_all,
+                                            const char* op) {
   const auto r = static_cast<std::size_t>(rank);
+  double waited = 0.0;
   std::unique_lock lk(mu_);
   throw_if_aborted_locked();
   // Wait until this rank's slot from the previous collective has been
   // released (all ranks consumed it). deposited_ is the explicit signal;
   // a zero-byte contribution occupies the slot exactly like any other.
-  cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
+  if (deposited_[r]) {
+    const double w0 = mono_seconds();
+    cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
+    waited += mono_seconds() - w0;
+  }
   throw_if_aborted_locked();
 
   deposited_[r] = 1;
@@ -66,7 +114,9 @@ std::vector<std::byte> GroupState::exchange(int rank,
     ++collective_generation_;
     cv_.notify_all();
   } else {
+    const double w0 = mono_seconds();
     cv_.wait(lk, [&] { return aborted_ || collective_generation_ != gen; });
+    waited += mono_seconds() - w0;
     throw_if_aborted_locked();
   }
 
@@ -85,6 +135,9 @@ std::vector<std::byte> GroupState::exchange(int rank,
     contrib_count_ = 0;
     cv_.notify_all(); // wake ranks waiting to start the next collective
   }
+  lk.unlock();
+  account(rank, op, contrib.size());
+  if (waited > 0.0) account_wait(rank, waited);
   return result;
 }
 
@@ -103,6 +156,7 @@ void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payl
     stats_.messages += 1;
     stats_.p2p_bytes += payload.size();
   }
+  account(src, "send", payload.size());
   cv_.notify_all();
 }
 
@@ -116,15 +170,20 @@ std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
   std::unique_lock lk(mu_);
   throw_if_aborted_locked();
   const Key key{src, dst, tag};
+  const double w0 = mono_seconds();
   cv_.wait(lk, [&] {
     if (aborted_) return true;
     auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
   });
+  const double waited = mono_seconds() - w0;
   throw_if_aborted_locked();
   auto& queue = mailboxes_[key];
   std::vector<std::byte> payload = std::move(queue.front());
   queue.erase(queue.begin());
+  lk.unlock();
+  account(dst, "recv", payload.size());
+  if (waited > 0.0) account_wait(dst, waited);
   return payload;
 }
 
@@ -133,9 +192,17 @@ TrafficStats GroupState::stats() const {
   return stats_;
 }
 
+RankTraffic GroupState::rank_traffic(int rank) const {
+  if (rank < 0 || rank >= nranks_)
+    throw std::out_of_range("SimComm::rank_traffic: bad rank");
+  std::lock_guard sg(stats_mu_);
+  return rank_traffic_[static_cast<std::size_t>(rank)];
+}
+
 void GroupState::reset_stats() {
   std::lock_guard sg(stats_mu_);
   stats_ = {};
+  for (auto& rt : rank_traffic_) rt = {};
 }
 
 } // namespace detail

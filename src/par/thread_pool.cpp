@@ -1,9 +1,24 @@
 #include "mlmd/par/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
+#include "mlmd/obs/metrics.hpp"
+#include "mlmd/obs/trace.hpp"
+
 namespace mlmd::par {
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
 
 // One launched loop. Workers (and the launcher) claim chunk ids with an
 // atomic fetch-add on `next`; `done` counts finished chunks and drives the
@@ -17,6 +32,10 @@ struct ThreadPool::Task {
   std::atomic<bool> cancelled{false};
   std::mutex err_mu;
   std::exception_ptr error;
+  // obs accounting: publish timestamp (queue-wait measurement) and chunks
+  // executed per participant (imbalance measurement).
+  std::uint64_t publish_ns = 0;
+  std::vector<std::atomic<std::uint32_t>> per_thread_chunks;
 };
 
 namespace {
@@ -33,7 +52,7 @@ ThreadPool::ThreadPool(int nthreads) {
   nthreads_ = nthreads;
   workers_.reserve(static_cast<std::size_t>(nthreads - 1));
   for (int i = 0; i < nthreads - 1; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -45,7 +64,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int self) {
   std::uint64_t seen = 0;
   while (true) {
     std::shared_ptr<Task> t;
@@ -56,19 +75,27 @@ void ThreadPool::worker_loop() {
       seen = epoch_;
       t = current_;
     }
-    if (t) work_on(t);
+    if (t) {
+      // Queue wait: how long this worker's wakeup lagged the launch.
+      static auto& qw =
+          obs::Registry::global().histogram("pool.queue_wait.seconds");
+      qw.observe(static_cast<double>(mono_ns() - t->publish_ns) * 1e-9);
+      work_on(t, self);
+    }
   }
 }
 
-void ThreadPool::work_on(const std::shared_ptr<Task>& t) {
+void ThreadPool::work_on(const std::shared_ptr<Task>& t, int self) {
   const bool was_in_task = tl_in_task;
   tl_in_task = true;
+  std::uint32_t executed = 0;
   while (true) {
     const std::size_t c = t->next.fetch_add(1, std::memory_order_relaxed);
     if (c >= t->nchunks) break;
     if (!t->cancelled.load(std::memory_order_relaxed)) {
       try {
         t->chunk(c);
+        ++executed;
       } catch (...) {
         {
           std::lock_guard lk(t->err_mu);
@@ -85,31 +112,46 @@ void ThreadPool::work_on(const std::shared_ptr<Task>& t) {
       done_cv_.notify_all();
     }
   }
+  if (executed > 0)
+    t->per_thread_chunks[static_cast<std::size_t>(self)].fetch_add(
+        executed, std::memory_order_relaxed);
   tl_in_task = was_in_task;
 }
 
 void ThreadPool::run_chunks(std::size_t nchunks,
                             const std::function<void(std::size_t)>& chunk) {
   if (nchunks == 0) return;
+  auto& reg = obs::Registry::global();
   // Serial fallback: one thread, a single chunk, or a nested launch from
   // inside a pool task. Chunks run inline, in ascending order; exceptions
   // propagate directly.
   if (nthreads_ == 1 || nchunks == 1 || tl_in_task) {
+    static auto& inline_launches = reg.counter("pool.inline_launches");
+    inline_launches.add(1);
     for (std::size_t c = 0; c < nchunks; ++c) chunk(c);
     return;
   }
+
+  static auto& launches = reg.counter("pool.launches");
+  static auto& chunks_total = reg.counter("pool.chunks");
+  launches.add(1);
+  chunks_total.add(nchunks);
+  obs::ObsScope span("pool.launch", obs::Cat::kTask);
 
   std::lock_guard launch(launch_mu_);
   auto t = std::make_shared<Task>();
   t->nchunks = nchunks;
   t->chunk = chunk;
+  t->per_thread_chunks =
+      std::vector<std::atomic<std::uint32_t>>(static_cast<std::size_t>(nthreads_));
+  t->publish_ns = mono_ns();
   {
     std::lock_guard lk(mu_);
     current_ = t;
     ++epoch_;
   }
   cv_.notify_all();
-  work_on(t); // the launcher participates
+  work_on(t, nthreads_ - 1); // the launcher participates
   {
     std::unique_lock lk(mu_);
     done_cv_.wait(lk, [&] {
@@ -117,6 +159,15 @@ void ThreadPool::run_chunks(std::size_t nchunks,
     });
     current_.reset();
   }
+  // Imbalance of this launch: busiest participant's chunk share over the
+  // perfectly-even share (1.0 = balanced, nthreads = one thread did all).
+  std::uint32_t busiest = 0;
+  for (const auto& n : t->per_thread_chunks)
+    busiest = std::max(busiest, n.load(std::memory_order_relaxed));
+  static auto& imbalance = reg.histogram("pool.imbalance");
+  imbalance.observe(static_cast<double>(busiest) *
+                    static_cast<double>(nthreads_) /
+                    static_cast<double>(nchunks));
   if (t->error) std::rethrow_exception(t->error);
 }
 
