@@ -13,11 +13,14 @@
 // runs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "mlmd/analysis/spectrum.hpp"
 #include "mlmd/common/cli.hpp"
+#include "mlmd/ft/fault.hpp"
 #include "mlmd/common/units.hpp"
 #include "mlmd/mesh/dcmesh.hpp"
 #include "mlmd/mlmd/pipeline.hpp"
@@ -39,12 +42,40 @@ int run_pipeline_cmd(const Cli& cli) {
   opt.n_sat = cli.real("n_sat", 0.5);
   const bool dark = cli.flag("dark");
 
-  auto res = pipeline::run_pipeline(opt, dark);
-  std::printf("n_exc = %.4f, w = %.3f\n", res.n_exc, res.w);
-  std::printf("Q: %.3f -> %.3f (%s run)\n", res.q_initial, res.q_final,
-              dark ? "dark" : "pumped");
-  std::printf("switched: %s\n", res.switched ? "yes" : "no");
-  return 0;
+  // Fault-tolerance flags (DESIGN.md Sec. 10).
+  opt.checkpoint_every = static_cast<int>(cli.integer("checkpoint-every", 0));
+  opt.checkpoint_path = cli.str("checkpoint", "");
+  opt.restore_path = cli.str("restore", "");
+  if (opt.checkpoint_every > 0 && opt.checkpoint_path.empty())
+    opt.checkpoint_path = "mlmd_pipeline.ckpt";
+  if (cli.has("guard")) {
+    opt.guard.enabled = true;
+    opt.guard.policy = ft::parse_policy(cli.str("guard"));
+  }
+  // --faults=SPEC beats the MLMD_FAULTS environment variable.
+  std::string fault_spec = cli.str("faults", "");
+  if (fault_spec.empty())
+    if (const char* env = std::getenv("MLMD_FAULTS")) fault_spec = env;
+  std::optional<ft::ScopedFaults> faults;
+  if (!fault_spec.empty()) faults.emplace(fault_spec);
+
+  try {
+    auto res = pipeline::run_pipeline(opt, dark);
+    std::printf("n_exc = %.4f, w = %.3f\n", res.n_exc, res.w);
+    std::printf("Q: %.3f -> %.3f (%s run)\n", res.q_initial, res.q_final,
+                dark ? "dark" : "pumped");
+    std::printf("switched: %s\n", res.switched ? "yes" : "no");
+    if (res.start_step > 0 || res.checkpoints_written > 0 ||
+        res.rollbacks > 0 || res.degraded)
+      std::printf("ft: start_step=%ld checkpoints=%d rollbacks=%d "
+                  "degraded=%s\n",
+                  res.start_step, res.checkpoints_written, res.rollbacks,
+                  res.degraded ? "yes" : "no");
+    return 0;
+  } catch (const ft::GuardTripped& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
 }
 
 int run_mesh_cmd(const Cli& cli) {
@@ -167,7 +198,37 @@ void usage() {
       "                or hardware concurrency; 1 = deterministic serial)\n"
       "  --trace=PATH  write a Chrome trace-event JSON of kernel/phase/comm\n"
       "                spans to PATH (or set MLMD_TRACE=PATH); load it in\n"
-      "                chrome://tracing or Perfetto");
+      "                chrome://tracing or Perfetto\n"
+      "pipeline robustness options (DESIGN.md Sec. 10):\n"
+      "  --faults=SPEC           inject deterministic faults, e.g.\n"
+      "                          'nan_force@step=25;exchange_fail@step=10,\n"
+      "                          p=0.5,seed=7' (or set MLMD_FAULTS)\n"
+      "  --guard=POLICY          per-step sentinel: abort|rollback|degrade\n"
+      "  --checkpoint=PATH       checkpoint file (default\n"
+      "                          mlmd_pipeline.ckpt)\n"
+      "  --checkpoint-every=N    write a checkpoint every N stage-3 steps\n"
+      "  --restore=PATH          resume stage 3 from a checkpoint\n"
+      "unknown --options are rejected; run with no arguments for this text");
+}
+
+/// Accepted --keys per subcommand (first the global ones).
+std::vector<std::string> known_keys(const std::string& cmd) {
+  std::vector<std::string> keys = {"threads", "trace"};
+  auto add = [&keys](std::initializer_list<const char*> more) {
+    for (const char* k : more) keys.emplace_back(k);
+  };
+  if (cmd == "pipeline")
+    add({"lattice", "sk", "xs_steps", "e0", "n_sat", "dark", "faults",
+         "guard", "checkpoint", "checkpoint-every", "restore"});
+  else if (cmd == "mesh")
+    add({"nqd", "e0", "omega", "md_steps"});
+  else if (cmd == "scf")
+    add({"n", "domains", "buffer", "outer", "tol"});
+  else if (cmd == "spectrum")
+    add({"n", "steps", "kick"});
+  else if (cmd == "nnqmd")
+    add({"epochs", "model", "kt", "dt", "gamma", "md_steps"});
+  return keys;
 }
 
 } // namespace
@@ -179,6 +240,9 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Cli cli(argc, argv);
+  if (!cli.check_known(known_keys(cmd),
+                       "run 'mlmd_run' with no arguments for usage"))
+    return 1;
   if (cli.has("threads"))
     par::ThreadPool::set_global_threads(
         static_cast<int>(cli.integer("threads", 0)));

@@ -19,10 +19,22 @@
 // The comm_* keys map onto the mlmd::perf machine-model inputs: the
 // measured bytes play the role of the model's per-step communication
 // volume, the wait seconds its latency/bandwidth term.
+//
+// When the measured run exercised the fault-tolerance layer (DESIGN.md
+// Sec. 10) the object additionally carries an optional "ft" block
+//
+//   "ft": {"faults_injected": N, "faults_detected": N,
+//          "faults_recovered": N, "checkpoint_writes": N,
+//          "checkpoint_bytes": N, "checkpoint_seconds": S}
+//
+// sourced from the mlmd::obs registry; it is omitted entirely on
+// zero-fault runs so existing schema-v2 consumers are unaffected.
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "mlmd/obs/metrics.hpp"
 
 namespace mlmd::benchjson {
 
@@ -38,7 +50,37 @@ struct Record {
   unsigned long long span_count = 0;
 };
 
-inline bool write(const std::string& path, const std::vector<Record>& recs) {
+/// Fault-tolerance totals for the optional "ft" block.
+struct FtStats {
+  unsigned long long faults_injected = 0;
+  unsigned long long faults_detected = 0;
+  unsigned long long faults_recovered = 0;
+  unsigned long long checkpoint_writes = 0;
+  unsigned long long checkpoint_bytes = 0;
+  double checkpoint_seconds = 0.0;
+
+  bool any() const {
+    return faults_injected || faults_detected || faults_recovered ||
+           checkpoint_writes || checkpoint_bytes || checkpoint_seconds > 0.0;
+  }
+};
+
+/// Snapshot the process-global ft.* instruments. counter()/histogram()
+/// get-or-register, so this is safe even when the ft layer never ran.
+inline FtStats ft_stats_from_registry() {
+  auto& reg = obs::Registry::global();
+  FtStats s;
+  s.faults_injected = reg.counter("ft.faults.injected").value();
+  s.faults_detected = reg.counter("ft.faults.detected").value();
+  s.faults_recovered = reg.counter("ft.faults.recovered").value();
+  s.checkpoint_writes = reg.counter("ft.checkpoint.writes").value();
+  s.checkpoint_bytes = reg.counter("ft.checkpoint.bytes").value();
+  s.checkpoint_seconds = reg.histogram("ft.checkpoint.seconds").sum();
+  return s;
+}
+
+inline bool write(const std::string& path, const std::vector<Record>& recs,
+                  const FtStats* ft = nullptr) {
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
   std::fprintf(fp, "{\"schema_version\": %d, \"records\": [\n", kSchemaVersion);
@@ -52,7 +94,18 @@ inline bool write(const std::string& path, const std::vector<Record>& recs) {
         r.kernel.c_str(), r.gflops, r.bytes_alloc, r.seconds, r.comm_bytes,
         r.comm_seconds, r.span_count, i + 1 < recs.size() ? "," : "");
   }
-  std::fprintf(fp, "]}\n");
+  std::fprintf(fp, "]");
+  if (ft && ft->any()) {
+    std::fprintf(fp,
+                 ",\n\"ft\": {\"faults_injected\": %llu, "
+                 "\"faults_detected\": %llu, \"faults_recovered\": %llu, "
+                 "\"checkpoint_writes\": %llu, \"checkpoint_bytes\": %llu, "
+                 "\"checkpoint_seconds\": %.6g}",
+                 ft->faults_injected, ft->faults_detected, ft->faults_recovered,
+                 ft->checkpoint_writes, ft->checkpoint_bytes,
+                 ft->checkpoint_seconds);
+  }
+  std::fprintf(fp, "}\n");
   std::fclose(fp);
   return true;
 }

@@ -9,11 +9,14 @@
 // model extrapolates to the paper's 1.23 trillion atoms on 10,000 nodes.
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "mlmd/common/cli.hpp"
+#include "mlmd/ft/fault.hpp"
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/timer.hpp"
 #include "mlmd/common/workspace.hpp"
@@ -47,10 +50,14 @@ Meas measure_model(const mlmd::nnq::AtomModel& model, const mlmd::qxmd::Atoms& a
   const auto spans0 = mlmd::obs::Tracer::span_count();
   const auto comm0 = mlmd::obs::comm_totals();
   for (int i = 0; i < steps; ++i) {
+    mlmd::ft::set_step(i);
     const auto r0 = mlmd::common::Workspace::total_reserved_bytes();
     mlmd::flops::Scope scope;
     mlmd::Timer t;
     model.energy_forces(atoms, nl, forces, /*block_size=*/4096);
+    // Fault-injection point (--faults / MLMD_FAULTS): corrupted forces
+    // here surface in the emitted "ft" benchjson block.
+    if (!forces.empty()) mlmd::ft::hook_forces(i, forces.data(), forces.size());
     const double secs = t.seconds();
     m.total_seconds += secs;
     m.bytes_alloc = mlmd::common::Workspace::total_reserved_bytes() - r0;
@@ -74,10 +81,30 @@ Meas measure_model(const mlmd::nnq::AtomModel& model, const mlmd::qxmd::Atoms& a
 int main(int argc, char** argv) {
   using namespace mlmd;
   Cli cli(argc, argv);
+  if (!cli.check_known({"lattice", "steps", "trace", "json", "faults"},
+                       "usage: bench_table2_xs_t2s [--lattice=N] [--steps=N] "
+                       "[--trace[=path]] [--json=path] [--faults=SPEC]"))
+    return 1;
   const auto lat = static_cast<std::size_t>(cli.integer("lattice", 12));
   const int steps = static_cast<int>(cli.integer("steps", 3));
   const std::string trace_path =
       obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
+
+  // Optional deterministic fault injection (DESIGN.md Sec. 10): same
+  // SPEC syntax as mlmd_run; injections land in the forces hook above
+  // and in the emitted benchjson "ft" block.
+  std::string fault_spec = cli.str("faults", "");
+  if (fault_spec.empty())
+    if (const char* env = std::getenv("MLMD_FAULTS")) fault_spec = env;
+  std::optional<ft::ScopedFaults> faults;
+  if (!fault_spec.empty()) {
+    try {
+      faults.emplace(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: bad --faults spec: %s\n", e.what());
+      return 1;
+    }
+  }
 
   auto atoms = qxmd::make_cubic_lattice(lat, lat, lat, 5.0, 2000.0);
   qxmd::NeighborList nl(atoms, 9.0);
@@ -129,7 +156,8 @@ int main(int argc, char** argv) {
          m_big.comm.bytes, m_big.comm.wait_seconds, m_big.span_count},
     };
     const std::string path = cli.str("json");
-    if (!benchjson::write(path, recs))
+    const auto ft_stats = benchjson::ft_stats_from_registry();
+    if (!benchjson::write(path, recs, &ft_stats))
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
   }
 

@@ -76,6 +76,12 @@ int main(int argc, char** argv) {
   using namespace mlmd;
   using cf = std::complex<float>;
   Cli cli(argc, argv);
+  if (!cli.check_known({"threads", "paper", "norb", "n", "reps", "trace",
+                        "json"},
+                       "usage: bench_table5_kernels [--threads=N] [--paper] "
+                       "[--norb=N] [--n=N] [--reps=N] [--trace[=path]] "
+                       "[--json=path]"))
+    return 1;
   if (cli.has("threads"))
     par::ThreadPool::set_global_threads(
         static_cast<int>(cli.integer("threads", 0)));

@@ -10,6 +10,11 @@
 // * A bench --json file (benchjson schema v2) must be an OBJECT with an
 //   integer "schema_version" and a "records" array whose elements carry
 //   kernel/gflops/bytes_alloc/seconds/comm_bytes/comm_seconds/span_count.
+//   An optional "ft" object (fault-tolerance totals, DESIGN.md Sec. 10)
+//   must, when present, carry numeric faults_injected/faults_detected/
+//   faults_recovered/checkpoint_writes/checkpoint_bytes/
+//   checkpoint_seconds with detected >= recovered and non-negative
+//   values.
 //
 // The file kind is detected from the top-level value. Exit 0 on a valid
 // file (a one-line summary is printed), 1 on any structural violation.
@@ -264,8 +269,47 @@ int check_bench(const Value& root) {
         return 1;
       }
   }
-  std::printf("trace_check: OK, bench schema v%d, %zu records\n",
-              static_cast<int>(ver->num), recs->arr.size());
+
+  // Optional fault-tolerance block: validated only when the emitter
+  // decided the run exercised the ft layer.
+  bool have_ft = false;
+  if (root.obj.count("ft")) {
+    const Value* ft = field(root, "ft", Value::Kind::kObject);
+    if (!ft) {
+      std::fprintf(stderr, "trace_check: \"ft\" is not an object\n");
+      return 1;
+    }
+    static const char* ft_keys[] = {"faults_injected",   "faults_detected",
+                                    "faults_recovered",  "checkpoint_writes",
+                                    "checkpoint_bytes",  "checkpoint_seconds"};
+    for (const char* k : ft_keys) {
+      const Value* v = field(*ft, k, Value::Kind::kNumber);
+      if (!v) {
+        std::fprintf(stderr, "trace_check: ft block lacks numeric %s\n", k);
+        return 1;
+      }
+      if (v->num < 0.0) {
+        std::fprintf(stderr, "trace_check: ft.%s is negative\n", k);
+        return 1;
+      }
+    }
+    const double detected = field(*ft, "faults_detected",
+                                  Value::Kind::kNumber)->num;
+    const double recovered = field(*ft, "faults_recovered",
+                                   Value::Kind::kNumber)->num;
+    if (recovered > detected) {
+      std::fprintf(stderr,
+                   "trace_check: ft.faults_recovered (%g) exceeds "
+                   "ft.faults_detected (%g)\n",
+                   recovered, detected);
+      return 1;
+    }
+    have_ft = true;
+  }
+
+  std::printf("trace_check: OK, bench schema v%d, %zu records%s\n",
+              static_cast<int>(ver->num), recs->arr.size(),
+              have_ft ? ", ft block present" : "");
   return 0;
 }
 

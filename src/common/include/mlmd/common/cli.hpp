@@ -1,14 +1,19 @@
 #pragma once
 // Tiny --key=value command-line parser shared by examples and benches.
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace mlmd {
 
-/// Parses `--key=value` and bare `--flag` arguments; everything else is
-/// ignored. Typed getters fall back to a default when the key is absent.
+/// Parses `--key=value` and bare `--flag` arguments; non-option arguments
+/// (subcommand names) are ignored. Typed getters fall back to a default
+/// when the key is absent. Front-ends call check_known() after parsing so
+/// a typo (--step= for --steps=) fails loudly instead of silently running
+/// with defaults.
 class Cli {
 public:
   Cli(int argc, const char* const* argv) {
@@ -46,6 +51,36 @@ public:
     auto it = kv_.find(key);
     if (it == kv_.end()) return dflt;
     return it->second != "0" && it->second != "false";
+  }
+
+  /// Keys given on the command line that are not in `known` (sorted,
+  /// since the backing store is an ordered map).
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const {
+    std::vector<std::string> bad;
+    for (const auto& [key, value] : kv_) {
+      bool ok = false;
+      for (const auto& k : known)
+        if (key == k) {
+          ok = true;
+          break;
+        }
+      if (!ok) bad.push_back(key);
+    }
+    return bad;
+  }
+
+  /// Returns false (and reports each offender on stderr with a usage
+  /// hint) when any command-line key is not in `known`. Callers exit
+  /// non-zero on false.
+  bool check_known(const std::vector<std::string>& known,
+                   const std::string& usage_hint) const {
+    const auto bad = unknown_keys(known);
+    for (const auto& key : bad)
+      std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+    if (!bad.empty() && !usage_hint.empty())
+      std::fprintf(stderr, "%s\n", usage_hint.c_str());
+    return bad.empty();
   }
 
 private:

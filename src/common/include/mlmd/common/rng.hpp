@@ -4,6 +4,7 @@
 // Reproducibility across runs matters more here than cryptographic
 // quality, so every consumer takes an explicit seeded Rng.
 
+#include <array>
 #include <cstdint>
 #include <cmath>
 
@@ -58,6 +59,16 @@ public:
   /// Derive an independent stream (for per-rank / per-atom seeding).
   Rng split(std::uint64_t stream) const {
     return Rng(state_[0] ^ (0xa0761d6478bd642full * (stream + 1)));
+  }
+
+  /// Raw generator state, for checkpoint/restart (mlmd::ft): a restored
+  /// generator continues the exact sequence the saved one would have
+  /// produced.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
   }
 
 private:

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "mlmd/ft/io.hpp"
+
 namespace mlmd::ferro {
 namespace {
 
@@ -26,19 +28,20 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 } // namespace
 
 void save_lattice(const FerroLattice& lat, const std::string& path) {
-  File fp(std::fopen(path.c_str(), "wb"));
-  if (!fp) throw std::runtime_error("save_lattice: cannot open " + path);
+  // Atomic write (ft::AtomicFile, DESIGN.md Sec. 10): readers see either
+  // the previous complete file or the new one, never a torn state.
+  ft::AtomicFile out(path);
   Header h{};
   std::memcpy(h.magic, kMagic, sizeof kMagic);
   h.lx = lat.lx();
   h.ly = lat.ly();
   h.params = lat.params();
   const std::size_t n = lat.ncells();
-  if (std::fwrite(&h, sizeof h, 1, fp.get()) != 1 ||
-      std::fwrite(lat.field().data(), sizeof(Vec3), n, fp.get()) != n ||
-      std::fwrite(lat.velocity().data(), sizeof(Vec3), n, fp.get()) != n ||
-      std::fwrite(lat.excitation().data(), sizeof(double), n, fp.get()) != n)
-    throw std::runtime_error("save_lattice: short write to " + path);
+  out.write(&h, sizeof h, 1);
+  out.write(lat.field().data(), sizeof(Vec3), n);
+  out.write(lat.velocity().data(), sizeof(Vec3), n);
+  out.write(lat.excitation().data(), sizeof(double), n);
+  out.commit();
 }
 
 FerroLattice load_lattice(const std::string& path) {

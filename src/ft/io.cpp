@@ -1,0 +1,72 @@
+#include "mlmd/ft/io.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace mlmd::ft {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+} // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::byte b : bytes)
+    c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+AtomicFile::AtomicFile(std::string path, const char* mode)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  fp_ = std::fopen(tmp_path_.c_str(), mode);
+  if (!fp_)
+    throw std::runtime_error("AtomicFile: cannot open " + tmp_path_);
+}
+
+AtomicFile::~AtomicFile() {
+  if (fp_) discard();
+}
+
+void AtomicFile::discard() {
+  std::fclose(fp_);
+  fp_ = nullptr;
+  std::remove(tmp_path_.c_str());
+}
+
+void AtomicFile::write(const void* data, std::size_t size, std::size_t count) {
+  if (count == 0) return;
+  if (std::fwrite(data, size, count, fp_) != count) {
+    discard();
+    throw std::runtime_error("AtomicFile: short write to " + tmp_path_);
+  }
+}
+
+void AtomicFile::commit() {
+  if (!fp_) throw std::logic_error("AtomicFile: double commit on " + path_);
+  const bool flushed = std::fflush(fp_) == 0;
+  const bool clean = std::ferror(fp_) == 0;
+  std::fclose(fp_);
+  fp_ = nullptr;
+  if (!flushed || !clean) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("AtomicFile: write error on " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("AtomicFile: cannot rename " + tmp_path_ +
+                             " -> " + path_);
+  }
+}
+
+} // namespace mlmd::ft

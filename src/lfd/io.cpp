@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "mlmd/ft/io.hpp"
+
 namespace mlmd::lfd {
 namespace {
 
@@ -28,8 +30,9 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 
 template <class Real>
 void save_wave(const SoAWave<Real>& w, const std::string& path) {
-  File fp(std::fopen(path.c_str(), "wb"));
-  if (!fp) throw std::runtime_error("save_wave: cannot open " + path);
+  // Atomic write (ft::AtomicFile, DESIGN.md Sec. 10): a crash mid-save
+  // can never leave a torn wavefunction file under the restart name.
+  ft::AtomicFile out(path);
   Header h{};
   std::memcpy(h.magic, kMagic, sizeof kMagic);
   h.nx = w.grid.nx;
@@ -40,10 +43,9 @@ void save_wave(const SoAWave<Real>& w, const std::string& path) {
   h.hy = w.grid.hy;
   h.hz = w.grid.hz;
   h.real_bytes = sizeof(Real);
-  if (std::fwrite(&h, sizeof h, 1, fp.get()) != 1 ||
-      std::fwrite(w.psi.data(), sizeof(std::complex<Real>), w.psi.size(),
-                  fp.get()) != w.psi.size())
-    throw std::runtime_error("save_wave: short write to " + path);
+  out.write(&h, sizeof h, 1);
+  out.write(w.psi.data(), sizeof(std::complex<Real>), w.psi.size());
+  out.commit();
 }
 
 template <class Real>

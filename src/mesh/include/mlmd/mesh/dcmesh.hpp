@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "mlmd/ft/checkpoint.hpp"
 #include "mlmd/lfd/domain.hpp"
 #include "mlmd/maxwell/pulse.hpp"
 #include "mlmd/qxmd/surface_hopping.hpp"
@@ -67,6 +68,20 @@ public:
   /// Macroscopic current (Maxwell source) at the current state.
   std::array<double, 3> current(double a_value) const;
 
+  /// MD steps taken since construction (the fault-injection step clock).
+  long steps_taken() const { return steps_; }
+
+  // --- checkpoint/restart (ft::Checkpoint, DESIGN.md Sec. 10) ----------
+  /// Serialize the full domain state (ions, velocities, wavefunctions,
+  /// occupations, Hartree field, SH eigenbasis + RNG, clocks) into `w` as
+  /// "mesh.*" sections. Composes: the caller adds its own sections (e.g.
+  /// Maxwell fields) to the same container.
+  void save_checkpoint(ft::CheckpointWriter& w) const;
+  /// Inverse of save_checkpoint. The domain must be constructed with the
+  /// same grid/norb/ion-count; throws std::runtime_error /
+  /// std::invalid_argument on shape mismatch or missing sections.
+  void restore_checkpoint(const ft::CheckpointReader& r);
+
 private:
   StepStats md_step_impl(const maxwell::Pulse* pulse, double fixed_a,
                          bool use_fixed_a);
@@ -78,6 +93,7 @@ private:
   std::vector<std::array<double, 3>> ion_vel_, ion_force_prev_;
   qxmd::SurfaceHopping sh_;
   double t_ = 0.0;
+  long steps_ = 0;
 };
 
 } // namespace mlmd::mesh

@@ -44,10 +44,16 @@ std::vector<double> Recorder::n_exc_series() const {
 void Recorder::write_csv(const std::string& path) const {
   File fp(std::fopen(path.c_str(), "w"));
   if (!fp) throw std::runtime_error("Recorder::write_csv: cannot open " + path);
-  std::fprintf(fp.get(), "t,n_exc,energy,jy,delta_f_norm,shadow_bytes\n");
+  if (std::fprintf(fp.get(), "t,n_exc,energy,jy,delta_f_norm,shadow_bytes\n") < 0)
+    throw std::runtime_error("Recorder::write_csv: short write to " + path);
   for (const auto& r : rows_)
-    std::fprintf(fp.get(), "%.12g,%.12g,%.12g,%.12g,%.12g,%zu\n", r.t, r.n_exc,
-                 r.energy, r.jy, r.delta_f_norm, r.shadow_bytes);
+    if (std::fprintf(fp.get(), "%.12g,%.12g,%.12g,%.12g,%.12g,%zu\n", r.t,
+                     r.n_exc, r.energy, r.jy, r.delta_f_norm,
+                     r.shadow_bytes) < 0)
+      throw std::runtime_error("Recorder::write_csv: short write to " + path);
+  // fprintf buffers; a full disk often only surfaces at flush time.
+  if (std::fflush(fp.get()) != 0 || std::ferror(fp.get()))
+    throw std::runtime_error("Recorder::write_csv: flush failed for " + path);
 }
 
 std::vector<Recorder::Row> Recorder::read_csv(const std::string& path) {

@@ -19,9 +19,11 @@
 // well coefficient (the ground truth the models were trained on). Tests
 // compare the two.
 
+#include <string>
 #include <vector>
 
 #include "mlmd/ferro/lattice.hpp"
+#include "mlmd/ft/guard.hpp"
 #include "mlmd/maxwell/pulse.hpp"
 #include "mlmd/mesh/dcmesh.hpp"
 #include "mlmd/nnq/allegro.hpp"
@@ -52,6 +54,14 @@ struct PipelineOptions {
   double n_sat = 1.0;   ///< excitation count that saturates w at 1
   int xs_steps = 400;
   int record_every = 20;
+
+  // Fault tolerance (DESIGN.md Sec. 10). All off by default: the
+  // zero-fault path costs nothing beyond one disarmed-hook load per step.
+  int checkpoint_every = 0;    ///< > 0: checkpoint stage 3 every N steps
+  std::string checkpoint_path; ///< file for --checkpoint-every writes
+  std::string restore_path;    ///< non-empty: skip stages 1-2, resume
+                               ///< stage 3 from this checkpoint
+  ft::GuardOptions guard;      ///< stage-3 step sentinel + recovery policy
 };
 
 struct PipelineResult {
@@ -62,6 +72,12 @@ struct PipelineResult {
   std::vector<double> q_history;
   bool switched = false;  ///< Q moved by more than half its initial value
                           ///< (collapse or inversion of the superlattice)
+
+  // Fault-tolerance bookkeeping.
+  long start_step = 0;         ///< stage-3 step the run (re)started from
+  int checkpoints_written = 0; ///< stage-3 checkpoint files written
+  int rollbacks = 0;           ///< kRollback recoveries performed
+  bool degraded = false;       ///< kDegrade swapped kNeural -> kExact
 };
 
 /// Run the full pipeline. When `dark` is true the pulse is suppressed

@@ -1,7 +1,12 @@
 #include "mlmd/mlmd/pipeline.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <span>
 
+#include "mlmd/ft/checkpoint.hpp"
+#include "mlmd/ft/fault.hpp"
+#include "mlmd/obs/metrics.hpp"
 #include "mlmd/obs/trace.hpp"
 #include "mlmd/topo/topology.hpp"
 
@@ -22,57 +27,245 @@ void step_with_forces(ferro::FerroLattice& lat,
     }
 }
 
+/// Stage-3 dynamic state: everything the XS loop evolves. Held in memory
+/// as the rollback target; serialized for checkpoint files.
+struct Stage3State {
+  long step = 0;
+  double n_exc = 0.0, w = 0.0, q_initial = 0.0;
+  std::vector<double> q_history;
+  bool degraded = false;
+  std::vector<ferro::Vec3> field, velocity;
+  std::vector<double> excitation;
+};
+
+Stage3State capture(const ferro::FerroLattice& lat, const PipelineResult& res,
+                    long step, bool degraded) {
+  Stage3State st;
+  st.step = step;
+  st.n_exc = res.n_exc;
+  st.w = res.w;
+  st.q_initial = res.q_initial;
+  st.q_history = res.q_history;
+  st.degraded = degraded;
+  st.field = lat.field();
+  st.velocity = lat.velocity();
+  st.excitation = lat.excitation();
+  return st;
+}
+
+void apply(const Stage3State& st, ferro::FerroLattice& lat,
+           PipelineResult& res, long& step, bool& degraded) {
+  if (st.field.size() != lat.ncells() || st.velocity.size() != lat.ncells() ||
+      st.excitation.size() != lat.ncells())
+    throw std::invalid_argument("run_pipeline: restored lattice size mismatch");
+  lat.field() = st.field;
+  lat.velocity() = st.velocity;
+  lat.set_excitation(st.excitation);
+  res.n_exc = st.n_exc;
+  res.w = st.w;
+  res.q_initial = st.q_initial;
+  res.q_history = st.q_history;
+  step = st.step;
+  degraded = st.degraded;
+}
+
+void write_stage3_checkpoint(const std::string& path, const Stage3State& st,
+                             std::size_t lattice) {
+  ft::CheckpointWriter w;
+  w.add_pod("pipeline.lattice", static_cast<std::uint64_t>(lattice));
+  w.add_pod("pipeline.step", st.step);
+  w.add_pod("pipeline.n_exc", st.n_exc);
+  w.add_pod("pipeline.w", st.w);
+  w.add_pod("pipeline.q_initial", st.q_initial);
+  w.add_vec("pipeline.q_history", st.q_history);
+  w.add_pod("pipeline.degraded", static_cast<std::uint8_t>(st.degraded));
+  w.add_vec("pipeline.field", st.field);
+  w.add_vec("pipeline.velocity", st.velocity);
+  w.add_vec("pipeline.excitation", st.excitation);
+  w.write(path);
+}
+
+Stage3State read_stage3_checkpoint(const std::string& path,
+                                   std::size_t lattice) {
+  ft::CheckpointReader r(path);
+  if (r.pod<std::uint64_t>("pipeline.lattice") != lattice)
+    throw std::runtime_error("run_pipeline: lattice extent mismatch in " +
+                             path);
+  Stage3State st;
+  st.step = r.pod<long>("pipeline.step");
+  st.n_exc = r.pod<double>("pipeline.n_exc");
+  st.w = r.pod<double>("pipeline.w");
+  st.q_initial = r.pod<double>("pipeline.q_initial");
+  st.q_history = r.vec<double>("pipeline.q_history");
+  st.degraded = r.pod<std::uint8_t>("pipeline.degraded") != 0;
+  st.field = r.vec<ferro::Vec3>("pipeline.field");
+  st.velocity = r.vec<ferro::Vec3>("pipeline.velocity");
+  st.excitation = r.vec<double>("pipeline.excitation");
+  return st;
+}
+
+/// Zero every non-finite component (the kDegrade reaction on the exact
+/// backend, where there is no baseline model to swap to: injected Inf/NaN
+/// cells are clamped and the deterministic quench re-relaxes them).
+void sanitize(std::vector<ferro::Vec3>& a) {
+  for (auto& v : a)
+    for (double& c : v)
+      if (!std::isfinite(c)) c = 0.0;
+}
+
+std::span<const double> flat(const std::vector<ferro::Vec3>& a) {
+  return {a.empty() ? nullptr : a[0].data(), 3 * a.size()};
+}
+
 } // namespace
 
 PipelineResult run_pipeline(const PipelineOptions& opt, bool dark) {
   PipelineResult res;
   obs::ObsScope run_span("pipeline.run", obs::Cat::kStep);
 
-  // ---- Stage 1: GS preparation of the skyrmion superlattice ------------
+  const bool restoring = !opt.restore_path.empty();
   ferro::FerroLattice lat(opt.lattice, opt.lattice, opt.ferro);
-  {
-    obs::ObsScope phase("pipeline.gs_prepare", obs::Cat::kPhase);
-    topo::init_skyrmion_superlattice(lat, opt.superlattice, opt.superlattice);
-    for (int i = 0; i < opt.relax_steps; ++i) lat.step();
-    res.q_initial = topo::topological_charge(lat);
-  }
 
-  // ---- Stage 2: DC-MESH photoexcitation probe ---------------------------
-  if (!dark) {
-    obs::ObsScope phase("pipeline.mesh_probe", obs::Cat::kPhase);
-    grid::Grid3 g{opt.grid_n, opt.grid_n, opt.grid_n, 0.7, 0.7, 0.7};
-    std::vector<lfd::Ion> ions = {
-        lfd::Ion{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 1.6, 2.0}};
-    mesh::MeshOptions mo = opt.mesh;
-    mesh::DcMeshDomain dom(g, opt.norb, opt.nfilled, ions, mo);
-    maxwell::Pulse pulse = opt.pulse;
-    // Centre the pulse inside the simulated window.
-    pulse.t0 = 0.5 * opt.mesh_md_steps * dom.md_dt();
-    for (int s = 0; s < opt.mesh_md_steps; ++s) dom.md_step(&pulse);
-    res.n_exc = dom.lfd().n_exc();
+  if (!restoring) {
+    // ---- Stage 1: GS preparation of the skyrmion superlattice ----------
+    {
+      obs::ObsScope phase("pipeline.gs_prepare", obs::Cat::kPhase);
+      topo::init_skyrmion_superlattice(lat, opt.superlattice,
+                                       opt.superlattice);
+      for (int i = 0; i < opt.relax_steps; ++i) lat.step();
+      res.q_initial = topo::topological_charge(lat);
+    }
+
+    // ---- Stage 2: DC-MESH photoexcitation probe ------------------------
+    if (!dark) {
+      obs::ObsScope phase("pipeline.mesh_probe", obs::Cat::kPhase);
+      grid::Grid3 g{opt.grid_n, opt.grid_n, opt.grid_n, 0.7, 0.7, 0.7};
+      std::vector<lfd::Ion> ions = {
+          lfd::Ion{0.5 * g.lx(), 0.5 * g.ly(), 0.5 * g.lz(), 2.0, 1.6, 2.0}};
+      mesh::MeshOptions mo = opt.mesh;
+      mesh::DcMeshDomain dom(g, opt.norb, opt.nfilled, ions, mo);
+      maxwell::Pulse pulse = opt.pulse;
+      // Centre the pulse inside the simulated window.
+      pulse.t0 = 0.5 * opt.mesh_md_steps * dom.md_dt();
+      for (int s = 0; s < opt.mesh_md_steps; ++s) dom.md_step(&pulse);
+      res.n_exc = dom.lfd().n_exc();
+    }
+    res.w = nnq::excitation_weight(res.n_exc, opt.n_sat);
   }
-  res.w = nnq::excitation_weight(res.n_exc, opt.n_sat);
 
   // ---- Stage 3: XS dynamics with Eq. (4) force mixing -------------------
   obs::ObsScope phase("pipeline.xs_dynamics", obs::Cat::kPhase);
-  res.q_history.push_back(res.q_initial);
-  if (opt.backend == ForceBackend::kExact) {
-    // Excitation folds into the well coefficient: w scales A(w)=A0(1-2w).
-    lat.set_uniform_excitation(0.5 * res.w);
-    for (int s = 0; s < opt.xs_steps; ++s) {
-      lat.step();
-      if ((s + 1) % opt.record_every == 0)
-        res.q_history.push_back(topo::topological_charge(lat));
-    }
+  const bool neural_backend = opt.backend == ForceBackend::kNeural;
+  if (neural_backend && (!opt.gs_model || !opt.xs_model))
+    throw std::invalid_argument("run_pipeline: kNeural needs gs/xs models");
+
+  long s = 0;
+  bool degraded = false;
+  if (restoring) {
+    // Resume mid-trajectory: stages 1-2 are skipped entirely; the
+    // checkpoint carries the lattice, the bookkeeping, and the clock.
+    auto st = read_stage3_checkpoint(opt.restore_path, opt.lattice);
+    apply(st, lat, res, s, degraded);
+    res.start_step = s;
+    res.degraded = degraded;
   } else {
-    if (!opt.gs_model || !opt.xs_model)
-      throw std::invalid_argument("run_pipeline: kNeural needs gs/xs models");
-    for (int s = 0; s < opt.xs_steps; ++s) {
-      auto f = nnq::xs_mixed_forces(*opt.gs_model, *opt.xs_model, lat, res.n_exc,
-                                    opt.n_sat);
-      step_with_forces(lat, f);
-      if ((s + 1) % opt.record_every == 0)
-        res.q_history.push_back(topo::topological_charge(lat));
+    res.q_history.push_back(res.q_initial);
+    if (!neural_backend)
+      // Excitation folds into the well coefficient: A(w) = A0 (1 - 2w).
+      lat.set_uniform_excitation(0.5 * res.w);
+  }
+
+  ft::StepSentinel sentinel(opt.guard);
+  Stage3State snapshot; // rollback target
+  bool have_snapshot = false;
+  if (opt.guard.enabled && opt.guard.policy == ft::Policy::kRollback) {
+    snapshot = capture(lat, res, s, degraded);
+    have_snapshot = true;
+  }
+
+  while (s < opt.xs_steps) {
+    ft::set_step(s);
+    const bool neural = neural_backend && !degraded;
+    bool tripped = false;
+
+    if (neural) {
+      auto f = nnq::xs_mixed_forces(*opt.gs_model, *opt.xs_model, lat,
+                                    res.n_exc, opt.n_sat);
+      // Fault-injection point: nan_force entries corrupt the NN forces.
+      if (!f.empty()) ft::hook_forces(s, f[0].data(), 3 * f.size());
+      if (!sentinel.check_values("pipeline.xs_forces", flat(f)))
+        tripped = true;
+      else
+        step_with_forces(lat, f);
+    } else {
+      lat.step();
+    }
+
+    if (!tripped) {
+      // Fault-injection point: inf_field entries corrupt the lattice.
+      if (!lat.field().empty())
+        ft::hook_fields(s, lat.field()[0].data(), 3 * lat.ncells());
+      // Gate on `enabled` here, not only inside check_*: lat.energy() is
+      // an O(ncells) sum and must not run on the guard-off path.
+      if (sentinel.options().enabled &&
+          (!sentinel.check_values("pipeline.field", flat(lat.field())) ||
+           !sentinel.check_energy("pipeline.energy", lat.energy())))
+        tripped = true;
+    }
+
+    if (tripped) {
+      auto& reg = obs::Registry::global();
+      static auto& recovered = reg.counter("ft.faults.recovered");
+      switch (opt.guard.policy) {
+        case ft::Policy::kAbort:
+          throw ft::GuardTripped("pipeline stage 3 aborted at step " +
+                                 std::to_string(s) + ": " +
+                                 sentinel.last_what());
+        case ft::Policy::kRollback: {
+          if (!have_snapshot || res.rollbacks >= opt.guard.max_rollbacks)
+            throw ft::GuardTripped(
+                "pipeline stage 3: rollback exhausted at step " +
+                std::to_string(s) + ": " + sentinel.last_what());
+          apply(snapshot, lat, res, s, degraded);
+          ++res.rollbacks;
+          static auto& rollbacks = reg.counter("ft.rollbacks");
+          rollbacks.add(1);
+          recovered.add(1);
+          // The restored state's energy is the new drift baseline.
+          sentinel.reset_energy_reference();
+          continue; // replay from the snapshot step
+        }
+        case ft::Policy::kDegrade: {
+          if (neural) {
+            // Swap the surrogate for the exact Hamiltonian for good; the
+            // excitation folds into its well coefficient.
+            degraded = true;
+            res.degraded = true;
+            lat.set_uniform_excitation(0.5 * res.w);
+            static auto& degr = reg.counter("ft.degrade.trips");
+            degr.add(1);
+          }
+          // Clamp whatever non-finite damage reached the lattice; the
+          // damped dynamics re-relaxes the zeroed cells.
+          sanitize(lat.field());
+          sanitize(lat.velocity());
+          recovered.add(1);
+          sentinel.reset_energy_reference();
+          continue; // retry this step on the baseline
+        }
+      }
+    }
+
+    ++s;
+    if (s % opt.record_every == 0)
+      res.q_history.push_back(topo::topological_charge(lat));
+    if (opt.checkpoint_every > 0 && s % opt.checkpoint_every == 0) {
+      snapshot = capture(lat, res, s, degraded);
+      have_snapshot = true;
+      if (!opt.checkpoint_path.empty()) {
+        write_stage3_checkpoint(opt.checkpoint_path, snapshot, opt.lattice);
+        ++res.checkpoints_written;
+      }
     }
   }
 

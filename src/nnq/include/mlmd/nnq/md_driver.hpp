@@ -11,6 +11,8 @@
 #include <optional>
 #include <vector>
 
+#include "mlmd/ft/checkpoint.hpp"
+#include "mlmd/ft/guard.hpp"
 #include "mlmd/nnq/allegro.hpp"
 #include "mlmd/nnq/train.hpp"
 #include "mlmd/qxmd/atoms.hpp"
@@ -31,6 +33,15 @@ struct MdOptions {
   double langevin_gamma = 2e-3;
   double n_sat = 1.0;          ///< Eq. (4) saturation scale
   unsigned long long seed = 17;
+  /// Graceful degradation (DESIGN.md Sec. 10): when set, NN forces are
+  /// guarded each step; a non-finite or out-of-bound force permanently
+  /// swaps the surrogate for this baseline pair potential (Allegro-Legato
+  /// style fidelity floor). The pointed-to params must outlive the
+  /// driver, and fallback->rc must not exceed the neighbor-list cutoff
+  /// (basis rc + skin) or fallback forces would miss pairs.
+  const qxmd::LjParams* fallback = nullptr;
+  double guard_max_force = 1e6; ///< |f| bound for the guard (<= 0: only
+                                ///< finiteness is checked)
 };
 
 class NnqmdDriver {
@@ -56,6 +67,21 @@ public:
     frames_ = frames;
   }
 
+  /// True once the force guard tripped and the driver switched to the
+  /// baseline pair potential (MdOptions::fallback).
+  bool degraded() const { return degraded_; }
+
+  // --- checkpoint/restart (ft::Checkpoint, DESIGN.md Sec. 10) ----------
+  /// Serialize everything step() evolves (atoms, forces, energy, step
+  /// count, thermostat RNG, degradation flag) as "nnq.*" sections.
+  void save_checkpoint(ft::CheckpointWriter& w) const;
+  /// Inverse of save_checkpoint: restores the dynamic state and rebuilds
+  /// the neighbor list from the restored positions. Restoring at a step
+  /// that is a multiple of rebuild_every makes the continued trajectory
+  /// bitwise identical to the uninterrupted one (the list is freshly
+  /// rebuilt at exactly those steps anyway).
+  void restore_checkpoint(const ft::CheckpointReader& r);
+
 private:
   double compute_forces(double n_exc);
 
@@ -69,6 +95,8 @@ private:
   long steps_ = 0;
   Rng rng_;
   std::vector<std::vector<double>>* frames_ = nullptr;
+  ft::StepSentinel sentinel_;
+  bool degraded_ = false;
 };
 
 /// Build a training dataset from randomized copies of `base`: each sample

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "mlmd/ft/fault.hpp"
 #include "mlmd/obs/metrics.hpp"
 
 namespace mlmd::par {
@@ -64,6 +65,7 @@ void GroupState::abort(const std::string& reason) {
 }
 
 void GroupState::barrier(int rank) {
+  ft::hook_comm(rank); // injected rank death (DESIGN.md Sec. 10)
   double waited = 0.0;
   {
     std::unique_lock lk(mu_);
@@ -88,6 +90,10 @@ std::vector<std::byte> GroupState::exchange(int rank,
                                             std::span<const std::byte> contrib,
                                             int root, bool to_all,
                                             const char* op) {
+  // Fault hooks fire before any collective state is touched, so a
+  // TransientCommFault thrown here leaves the group consistent and the
+  // caller can simply retry the whole collective (ft::with_retry).
+  ft::hook_comm(rank);
   const auto r = static_cast<std::size_t>(rank);
   double waited = 0.0;
   std::unique_lock lk(mu_);
@@ -104,6 +110,9 @@ std::vector<std::byte> GroupState::exchange(int rank,
 
   deposited_[r] = 1;
   contrib_[r].assign(contrib.begin(), contrib.end());
+  // Injected in-transit corruption hits the deposited copy, never the
+  // caller's buffer (the wire analogue of a link bit-flip).
+  ft::hook_payload(rank, std::span<std::byte>(contrib_[r]));
   const std::uint64_t gen = collective_generation_;
   if (++contrib_count_ == nranks_) {
     assembled_.clear();
@@ -142,6 +151,7 @@ std::vector<std::byte> GroupState::exchange(int rank,
 }
 
 void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payload) {
+  ft::hook_comm(src);
   if (dst < 0 || dst >= nranks_) throw std::out_of_range("SimComm::send: bad rank");
   if (dst == src)
     throw std::invalid_argument(
@@ -161,6 +171,7 @@ void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payl
 }
 
 std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
+  ft::hook_comm(dst);
   // Validate eagerly (mirroring send): a bad source rank would otherwise
   // block forever on a message that can never arrive.
   if (src < 0 || src >= nranks_) throw std::out_of_range("SimComm::recv: bad rank");
@@ -221,6 +232,16 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
       try {
         body(comm);
       } catch (...) {
+        // Recover the original message so the poison reason carries the
+        // root cause: surviving ranks rethrow "SimComm aborted: rank N
+        // threw: <what>" instead of an uninformative generic error.
+        std::string what = "unknown exception";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
         {
           std::lock_guard lk(err_mu);
           if (!first_error) first_error = std::current_exception();
@@ -228,8 +249,9 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
         // Poison the group so peers blocked in barrier/exchange/recv
         // unwind instead of hanging join() forever. Ranks that unwind
         // with the induced "SimComm aborted" error reach this handler
-        // after first_error is already set, so the root cause wins.
-        state->abort("rank " + std::to_string(r) + " threw");
+        // after first_error is already set, so the root cause wins (and
+        // abort() keeps only the first reason).
+        state->abort("rank " + std::to_string(r) + " threw: " + what);
       }
     });
   }

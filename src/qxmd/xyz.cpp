@@ -22,12 +22,16 @@ void append_xyz(const Atoms& atoms, const std::string& path,
                 const std::string& comment) {
   File fp(std::fopen(path.c_str(), "a"));
   if (!fp) throw std::runtime_error("append_xyz: cannot open " + path);
-  std::fprintf(fp.get(), "%zu\n", atoms.n());
-  std::fprintf(fp.get(), "box %.10g %.10g %.10g %s\n", atoms.box.lx, atoms.box.ly,
-               atoms.box.lz, comment.c_str());
-  for (std::size_t i = 0; i < atoms.n(); ++i)
-    std::fprintf(fp.get(), "T%d %.10g %.10g %.10g\n", atoms.type[i],
-                 atoms.pos(i)[0], atoms.pos(i)[1], atoms.pos(i)[2]);
+  bool ok = std::fprintf(fp.get(), "%zu\n", atoms.n()) >= 0;
+  ok = ok && std::fprintf(fp.get(), "box %.10g %.10g %.10g %s\n", atoms.box.lx,
+                          atoms.box.ly, atoms.box.lz, comment.c_str()) >= 0;
+  for (std::size_t i = 0; ok && i < atoms.n(); ++i)
+    ok = std::fprintf(fp.get(), "T%d %.10g %.10g %.10g\n", atoms.type[i],
+                      atoms.pos(i)[0], atoms.pos(i)[1], atoms.pos(i)[2]) >= 0;
+  // fprintf buffers; flush before declaring the frame durable so a full
+  // disk is reported here rather than silently truncating the trajectory.
+  if (!ok || std::fflush(fp.get()) != 0 || std::ferror(fp.get()))
+    throw std::runtime_error("append_xyz: short write to " + path);
 }
 
 std::vector<Atoms> read_xyz(const std::string& path) {
