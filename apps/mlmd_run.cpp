@@ -27,6 +27,7 @@
 #include "mlmd/nnq/md_driver.hpp"
 #include "mlmd/obs/obs.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/par/transport.hpp"
 #include "mlmd/scf/dc_scf.hpp"
 
 namespace {
@@ -199,6 +200,10 @@ void usage() {
       "  --trace=PATH  write a Chrome trace-event JSON of kernel/phase/comm\n"
       "                spans to PATH (or set MLMD_TRACE=PATH); load it in\n"
       "                chrome://tracing or Perfetto\n"
+      "  --transport=inproc|shm\n"
+      "                SimComm backend: rank threads in-process (default)\n"
+      "                or forked processes over shared memory (or set\n"
+      "                MLMD_TRANSPORT)\n"
       "pipeline robustness options (DESIGN.md Sec. 10):\n"
       "  --faults=SPEC           inject deterministic faults, e.g.\n"
       "                          'nan_force@step=25;exchange_fail@step=10,\n"
@@ -213,7 +218,7 @@ void usage() {
 
 /// Accepted --keys per subcommand (first the global ones).
 std::vector<std::string> known_keys(const std::string& cmd) {
-  std::vector<std::string> keys = {"threads", "trace"};
+  std::vector<std::string> keys = {"threads", "trace", "transport"};
   auto add = [&keys](std::initializer_list<const char*> more) {
     for (const char* k : more) keys.emplace_back(k);
   };
@@ -243,18 +248,28 @@ int main(int argc, char** argv) {
   if (!cli.check_known(known_keys(cmd),
                        "run 'mlmd_run' with no arguments for usage"))
     return 1;
-  if (cli.has("threads"))
-    par::ThreadPool::set_global_threads(
-        static_cast<int>(cli.integer("threads", 0)));
-  const std::string trace_path =
-      obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
   int rc = 1;
-  if (cmd == "pipeline") rc = run_pipeline_cmd(cli);
-  else if (cmd == "mesh") rc = run_mesh_cmd(cli);
-  else if (cmd == "scf") rc = run_scf_cmd(cli);
-  else if (cmd == "spectrum") rc = run_spectrum_cmd(cli);
-  else if (cmd == "nnqmd") rc = run_nnqmd_cmd(cli);
-  else usage();
-  if (!obs::finish_tracing(trace_path) && rc == 0) rc = 1;
+  try {
+    if (cli.has("threads"))
+      par::ThreadPool::set_global_threads(
+          static_cast<int>(cli.integer("threads", 0)));
+    if (cli.has("transport"))
+      par::set_default_transport(par::parse_transport(cli.str("transport")));
+    const std::string trace_path =
+        obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
+    if (cmd == "pipeline") rc = run_pipeline_cmd(cli);
+    else if (cmd == "mesh") rc = run_mesh_cmd(cli);
+    else if (cmd == "scf") rc = run_scf_cmd(cli);
+    else if (cmd == "spectrum") rc = run_spectrum_cmd(cli);
+    else if (cmd == "nnqmd") rc = run_nnqmd_cmd(cli);
+    else usage();
+    if (!obs::finish_tracing(trace_path) && rc == 0) rc = 1;
+  } catch (const std::invalid_argument& e) {
+    // Malformed option values (strict Cli numeric parsing, bad
+    // --transport) are usage errors, not crashes.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "run 'mlmd_run' with no arguments for usage\n");
+    return 1;
+  }
   return rc;
 }

@@ -6,13 +6,28 @@
 // model. Expected shape: weak efficiencies ~0.957 / 0.964 / 0.997
 // (better at larger granularity); strong efficiency 0.773 for the large
 // problem but collapsing to ~0.44 for the small one (comm/compute ratio).
+//
+// A real SimComm mini-run exercises the halo-exchange + energy-allreduce
+// pattern over the selected transport (--transport=inproc|shm, DESIGN.md
+// Sec. 11); --json=<path> emits one benchjson record per rank whose
+// comm_bytes must be identical across transports (trace_check
+// --compare-comm). --model=0 skips the analytic sweeps for CI smoke.
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "mlmd/common/cli.hpp"
 #include "mlmd/common/timer.hpp"
 #include "mlmd/nnq/allegro.hpp"
+#include "mlmd/par/simcomm.hpp"
+#include "mlmd/par/transport.hpp"
 #include "mlmd/perf/machine.hpp"
 #include "mlmd/qxmd/atoms.hpp"
 #include "mlmd/qxmd/neighbor.hpp"
@@ -20,66 +35,167 @@
 int main(int argc, char** argv) {
   using namespace mlmd;
   Cli cli(argc, argv);
-  const auto lat = static_cast<std::size_t>(cli.integer("lattice", 12));
-  const int steps = static_cast<int>(cli.integer("steps", 3));
+  if (!cli.check_known(
+          {"lattice", "steps", "node_speedup", "model", "ranks", "halo_steps",
+           "transport", "json"},
+          "usage: bench_fig5_nnqmd_scaling [--lattice=N] [--steps=N] "
+          "[--node_speedup=X] [--model=0|1] [--ranks=N] [--halo_steps=N] "
+          "[--transport=inproc|shm] [--json=path]"))
+    return 1;
 
-  // --- measure per-atom NN inference cost -------------------------------
-  auto atoms = qxmd::make_cubic_lattice(lat, lat, lat, 5.0, 2000.0);
-  qxmd::NeighborList nl(atoms, 9.0);
-  nnq::AtomModel model(nnq::RadialBasis::make(16, 2.0, 9.0, 1.2), {64, 64, 32});
-  std::vector<double> forces;
-  Timer t;
-  for (int i = 0; i < steps; ++i) model.energy_forces(atoms, nl, forces, 4096);
-  perf::NnqmdCompute comp;
-  const double t_atom_host = t.seconds() / steps / static_cast<double>(atoms.n());
-  // Scaling *shape* is set by the comm/compute ratio at the paper's node
-  // speed. A PVC tile runs Allegro inference ~10^3 faster than this one
-  // CPU core (the paper's 1.2288e12 atoms / 120,000 ranks finish a step
-  // in 1590 s, i.e. ~3.1e-5 s/atom like this host — but with a 690k-weight
-  // model ~100x larger than ours). Scale the measured per-atom cost to
-  // that node class and keep the calibrated network model.
-  const double node_speedup = cli.real("node_speedup", 1000.0);
-  comp.t_atom = t_atom_host / node_speedup;
-  std::printf("# measured NN inference: %.3e s/atom/step on this core "
-              "(%zu atoms, %zu weights); modeled node = %.0fx -> %.3e\n",
-              t_atom_host, atoms.n(), model.n_weights(), node_speedup,
-              comp.t_atom);
-
-  perf::Network net;
-  const std::vector<long> weak_ranks = {7500, 15000, 30000, 60000, 120000};
-
-  for (long gran : {160000L, 640000L, 10240000L}) {
-    std::printf("\n# Fig 5a: weak scaling, %ld atoms/rank\n", gran);
-    std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms", "sec/step",
-                "efficiency");
-    for (const auto& sp : perf::nnqmd_weak_scaling(comp, net, weak_ranks, gran))
-      std::printf("%-10ld %-16.3e %-14.3f %-12.4f\n", sp.p,
-                  static_cast<double>(sp.p) * static_cast<double>(gran),
-                  sp.seconds, sp.efficiency);
+  std::size_t lat = 12;
+  int steps = 3, ranks = 4, halo_steps = 4;
+  bool model = true;
+  double node_speedup = 1000.0;
+  std::string json_path;
+  try {
+    lat = static_cast<std::size_t>(cli.integer("lattice", 12));
+    steps = static_cast<int>(cli.integer("steps", 3));
+    ranks = static_cast<int>(cli.integer("ranks", 4));
+    halo_steps = static_cast<int>(cli.integer("halo_steps", 4));
+    model = cli.flag("model", true);
+    node_speedup = cli.real("node_speedup", 1000.0);
+    json_path = cli.str("json", "");
+    if (cli.has("transport"))
+      par::set_default_transport(par::parse_transport(cli.str("transport")));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
-  const std::vector<long> strong_ranks = {9225, 18450, 36900, 73800};
-  for (long natoms : {221400000L, 984000000L}) {
-    std::printf("\n# Fig 5b: strong scaling, %ld atoms\n", natoms);
-    std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms/rank", "sec/step",
-                "efficiency");
-    for (const auto& sp :
-         perf::nnqmd_strong_scaling(comp, net, strong_ranks, natoms))
-      std::printf("%-10ld %-16ld %-14.4f %-12.4f\n", sp.p, natoms / sp.p,
-                  sp.seconds, sp.efficiency);
-  }
-  std::printf("\n# paper reference: weak 0.957/0.964/0.997; strong 0.773 "
-              "(984M atoms) vs 0.440 (221.4M)\n");
+  if (model) {
+    // --- measure per-atom NN inference cost -----------------------------
+    auto atoms = qxmd::make_cubic_lattice(lat, lat, lat, 5.0, 2000.0);
+    qxmd::NeighborList nl(atoms, 9.0);
+    nnq::AtomModel nn(nnq::RadialBasis::make(16, 2.0, 9.0, 1.2), {64, 64, 32});
+    std::vector<double> forces;
+    Timer t;
+    for (int i = 0; i < steps; ++i) nn.energy_forces(atoms, nl, forces, 4096);
+    perf::NnqmdCompute comp;
+    const double t_atom_host =
+        t.seconds() / steps / static_cast<double>(atoms.n());
+    // Scaling *shape* is set by the comm/compute ratio at the paper's node
+    // speed. A PVC tile runs Allegro inference ~10^3 faster than this one
+    // CPU core (the paper's 1.2288e12 atoms / 120,000 ranks finish a step
+    // in 1590 s, i.e. ~3.1e-5 s/atom like this host — but with a 690k-weight
+    // model ~100x larger than ours). Scale the measured per-atom cost to
+    // that node class and keep the calibrated network model.
+    comp.t_atom = t_atom_host / node_speedup;
+    std::printf("# measured NN inference: %.3e s/atom/step on this core "
+                "(%zu atoms, %zu weights); modeled node = %.0fx -> %.3e\n",
+                t_atom_host, atoms.n(), nn.n_weights(), node_speedup,
+                comp.t_atom);
 
-  // Block-inference memory accounting (Sec. V.B.9).
-  model.energy_forces(atoms, nl, forces, /*block_size=*/0);
-  const std::size_t full = model.last_peak_scratch_bytes();
-  model.energy_forces(atoms, nl, forces, /*block_size=*/256);
-  const std::size_t blocked = model.last_peak_scratch_bytes();
-  std::printf("# block inference: peak descriptor scratch %zu B -> %zu B "
-              "(%.0fx reduction); neighbor-list tensor %zu B\n",
-              full, blocked,
-              static_cast<double>(full) / static_cast<double>(blocked),
-              nl.memory_bytes());
+    perf::Network net;
+    const std::vector<long> weak_ranks = {7500, 15000, 30000, 60000, 120000};
+
+    for (long gran : {160000L, 640000L, 10240000L}) {
+      std::printf("\n# Fig 5a: weak scaling, %ld atoms/rank\n", gran);
+      std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms", "sec/step",
+                  "efficiency");
+      for (const auto& sp :
+           perf::nnqmd_weak_scaling(comp, net, weak_ranks, gran))
+        std::printf("%-10ld %-16.3e %-14.3f %-12.4f\n", sp.p,
+                    static_cast<double>(sp.p) * static_cast<double>(gran),
+                    sp.seconds, sp.efficiency);
+    }
+
+    const std::vector<long> strong_ranks = {9225, 18450, 36900, 73800};
+    for (long natoms : {221400000L, 984000000L}) {
+      std::printf("\n# Fig 5b: strong scaling, %ld atoms\n", natoms);
+      std::printf("%-10s %-16s %-14s %-12s\n", "ranks", "atoms/rank",
+                  "sec/step", "efficiency");
+      for (const auto& sp :
+           perf::nnqmd_strong_scaling(comp, net, strong_ranks, natoms))
+        std::printf("%-10ld %-16ld %-14.4f %-12.4f\n", sp.p, natoms / sp.p,
+                    sp.seconds, sp.efficiency);
+    }
+    std::printf("\n# paper reference: weak 0.957/0.964/0.997; strong 0.773 "
+                "(984M atoms) vs 0.440 (221.4M)\n");
+
+    // Block-inference memory accounting (Sec. V.B.9).
+    nn.energy_forces(atoms, nl, forces, /*block_size=*/0);
+    const std::size_t full = nn.last_peak_scratch_bytes();
+    nn.energy_forces(atoms, nl, forces, /*block_size=*/256);
+    const std::size_t blocked = nn.last_peak_scratch_bytes();
+    std::printf("# block inference: peak descriptor scratch %zu B -> %zu B "
+                "(%.0fx reduction); neighbor-list tensor %zu B\n",
+                full, blocked,
+                static_cast<double>(full) / static_cast<double>(blocked),
+                nl.memory_bytes());
+  }
+
+  // --- real SimComm mini-run: halo exchange + energy allreduce ----------
+  // The measured counterpart of the modeled comm terms above: each rank
+  // exchanges a fixed halo slab with its ring neighbours (sendrecv, the
+  // Fig. 5 divide-and-conquer boundary pattern) and joins a global energy
+  // allreduce per step. Per-rank accounts ride one final gather, sampled
+  // beforehand so they are identical across transports.
+  const char* transport = par::transport_name(par::default_transport());
+  constexpr std::size_t kHaloDoubles = 512; // fixed slab per exchange
+  std::vector<std::array<std::uint64_t, 3>> per_rank; // calls,bytes,wait bits
+  std::mutex per_rank_mu;
+  Timer wall;
+  auto traffic = par::run(ranks, [&](par::Comm& comm) {
+    const int rank = comm.rank();
+    const int n = comm.size();
+    const int right = (rank + 1) % n;
+    const int left = (rank + n - 1) % n;
+    std::vector<double> halo(kHaloDoubles,
+                             static_cast<double>(rank) + 0.25);
+    double energy = 1.0 + 0.01 * static_cast<double>(rank);
+    for (int s = 0; s < halo_steps; ++s) {
+      // Ring halo exchange; with n == 1 the ring degenerates to a
+      // self-send, so skip the exchange entirely.
+      if (n > 1) {
+        auto recvd = comm.sendrecv(right, std::span<const double>(halo),
+                                   left, /*tag=*/s);
+        energy += recvd.empty() ? 0.0 : recvd.front() * 1e-3;
+      }
+      auto e_all = comm.allreduce(energy, par::ReduceOp::kSum);
+      energy = 0.5 * (energy + e_all / static_cast<double>(n));
+    }
+    const par::RankTraffic mine = comm.rank_traffic();
+    std::array<std::uint64_t, 3> packed{};
+    for (const auto& [op, st] : mine.ops) {
+      packed[0] += st.calls;
+      packed[1] += st.bytes;
+    }
+    packed[2] = std::bit_cast<std::uint64_t>(mine.wait_seconds);
+    auto gathered = comm.gather(packed, 0);
+    if (rank == 0) {
+      std::lock_guard lk(per_rank_mu);
+      per_rank = std::move(gathered);
+    }
+  });
+  const double wall_seconds = wall.seconds();
+  std::printf("\n# SimComm halo mini-run (%d ranks, %d steps, transport %s): "
+              "%llu messages, %llu p2p bytes, %llu collective bytes\n",
+              ranks, halo_steps, transport,
+              static_cast<unsigned long long>(traffic.messages),
+              static_cast<unsigned long long>(traffic.p2p_bytes),
+              static_cast<unsigned long long>(traffic.collective_bytes));
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    std::printf("#   rank %zu: %llu comm calls, %llu bytes, %.3e s waiting\n",
+                r, static_cast<unsigned long long>(per_rank[r][0]),
+                static_cast<unsigned long long>(per_rank[r][1]),
+                std::bit_cast<double>(per_rank[r][2]));
+
+  if (!json_path.empty()) {
+    std::vector<benchjson::Record> recs;
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      benchjson::Record rec;
+      rec.kernel = "nnqmd_halo.rank" + std::to_string(r);
+      rec.seconds = wall_seconds;
+      rec.comm_bytes = per_rank[r][1];
+      rec.comm_seconds = std::bit_cast<double>(per_rank[r][2]);
+      recs.push_back(rec);
+    }
+    if (!benchjson::write(json_path, recs, nullptr, transport)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (transport %s)\n", json_path.c_str(), transport);
+  }
   return 0;
 }

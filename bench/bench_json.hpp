@@ -20,6 +20,11 @@
 // measured bytes play the role of the model's per-step communication
 // volume, the wait seconds its latency/bandwidth term.
 //
+// When the measurement ran over a SimComm transport the object carries
+// an optional top-level "transport" string ("inproc" or "shm", DESIGN.md
+// Sec. 11) identifying the backend, so scaling points measured over real
+// process boundaries are distinguishable from threaded ones.
+//
 // When the measured run exercised the fault-tolerance layer (DESIGN.md
 // Sec. 10) the object additionally carries an optional "ft" block
 //
@@ -80,10 +85,14 @@ inline FtStats ft_stats_from_registry() {
 }
 
 inline bool write(const std::string& path, const std::vector<Record>& recs,
-                  const FtStats* ft = nullptr) {
+                  const FtStats* ft = nullptr,
+                  const std::string& transport = "") {
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
-  std::fprintf(fp, "{\"schema_version\": %d, \"records\": [\n", kSchemaVersion);
+  std::fprintf(fp, "{\"schema_version\": %d, ", kSchemaVersion);
+  if (!transport.empty())
+    std::fprintf(fp, "\"transport\": \"%s\", ", transport.c_str());
+  std::fprintf(fp, "\"records\": [\n");
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];
     std::fprintf(

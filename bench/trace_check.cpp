@@ -270,6 +270,21 @@ int check_bench(const Value& root) {
       }
   }
 
+  // Optional transport tag (DESIGN.md Sec. 11): when present it must be
+  // one of the SimComm backend names, so downstream scaling plots can
+  // trust the measured-over-processes distinction.
+  std::string transport;
+  if (root.obj.count("transport")) {
+    const Value* t = field(root, "transport", Value::Kind::kString);
+    if (!t || (t->str != "inproc" && t->str != "shm")) {
+      std::fprintf(stderr,
+                   "trace_check: \"transport\" must be \"inproc\" or "
+                   "\"shm\"\n");
+      return 1;
+    }
+    transport = t->str;
+  }
+
   // Optional fault-tolerance block: validated only when the emitter
   // decided the run exercised the ft layer.
   bool have_ft = false;
@@ -307,23 +322,18 @@ int check_bench(const Value& root) {
     have_ft = true;
   }
 
-  std::printf("trace_check: OK, bench schema v%d, %zu records%s\n",
+  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s\n",
               static_cast<int>(ver->num), recs->arr.size(),
-              have_ft ? ", ft block present" : "");
+              transport.empty() ? "" : ", transport ",
+              transport.c_str(), have_ft ? ", ft block present" : "");
   return 0;
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_check <file.json>\n");
-    return 1;
-  }
-  std::FILE* fp = std::fopen(argv[1], "rb");
+ValuePtr parse_file(const char* path) {
+  std::FILE* fp = std::fopen(path, "rb");
   if (!fp) {
-    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
-    return 1;
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path);
+    return nullptr;
   }
   std::string buf;
   char chunk[1 << 16];
@@ -331,16 +341,78 @@ int main(int argc, char** argv) {
   while ((got = std::fread(chunk, 1, sizeof chunk, fp)) > 0)
     buf.append(chunk, got);
   std::fclose(fp);
-
-  ValuePtr root;
   try {
     Parser p(buf.data(), buf.size());
-    root = p.parse();
+    return p.parse();
   } catch (const std::string& err) {
-    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", argv[1],
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", path,
                  err.c_str());
+    return nullptr;
+  }
+}
+
+/// --compare-comm a.json b.json: both must be valid bench files with the
+/// same kernel set and bit-equal comm_bytes per kernel. This is how CI
+/// proves the shm and inproc transports move identical traffic for the
+/// same configuration (timings are allowed to differ).
+int compare_comm(const char* path_a, const char* path_b) {
+  ValuePtr a = parse_file(path_a);
+  ValuePtr b = parse_file(path_b);
+  if (!a || !b) return 1;
+  if (a->kind != Value::Kind::kObject || b->kind != Value::Kind::kObject ||
+      check_bench(*a) != 0 || check_bench(*b) != 0)
+    return 1;
+  auto comm_map = [](const Value& root) {
+    std::map<std::string, double> m;
+    const Value* recs = field(root, "records", Value::Kind::kArray);
+    for (const auto& r : recs->arr)
+      m[field(*r, "kernel", Value::Kind::kString)->str] =
+          field(*r, "comm_bytes", Value::Kind::kNumber)->num;
+    return m;
+  };
+  const auto ma = comm_map(*a);
+  const auto mb = comm_map(*b);
+  int bad = 0;
+  for (const auto& [kernel, bytes] : ma) {
+    auto it = mb.find(kernel);
+    if (it == mb.end()) {
+      std::fprintf(stderr, "trace_check: kernel \"%s\" only in %s\n",
+                   kernel.c_str(), path_a);
+      ++bad;
+    } else if (it->second != bytes) {
+      std::fprintf(stderr,
+                   "trace_check: kernel \"%s\" comm_bytes differ: %.0f vs "
+                   "%.0f\n",
+                   kernel.c_str(), bytes, it->second);
+      ++bad;
+    }
+  }
+  for (const auto& [kernel, bytes] : mb)
+    if (!ma.count(kernel)) {
+      std::fprintf(stderr, "trace_check: kernel \"%s\" only in %s\n",
+                   kernel.c_str(), path_b);
+      ++bad;
+    }
+  if (bad) return 1;
+  std::printf("trace_check: OK, %zu kernels, per-kernel comm_bytes "
+              "identical\n",
+              ma.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--compare-comm")
+    return compare_comm(argv[2], argv[3]);
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: trace_check <file.json>\n"
+                 "       trace_check --compare-comm <a.json> <b.json>\n");
     return 1;
   }
+  ValuePtr root = parse_file(argv[1]);
+  if (!root) return 1;
 
   if (root->kind == Value::Kind::kArray) return check_trace(*root);
   if (root->kind == Value::Kind::kObject) return check_bench(*root);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,13 +40,31 @@ public:
     auto it = kv_.find(key);
     return it == kv_.end() ? dflt : it->second;
   }
+  /// Strict numeric getters: the whole value must parse, so --threads=8x
+  /// or --checkpoint-every=1e3garbage fails loudly (std::invalid_argument
+  /// with a usage hint) instead of silently truncating to a valid-looking
+  /// number — the numeric counterpart of check_known's typo rejection.
   long integer(const std::string& key, long dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+    if (it == kv_.end()) return dflt;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+      throw std::invalid_argument("invalid integer for --" + key + "=" +
+                                  it->second +
+                                  " (usage: --" + key + "=<integer>)");
+    return v;
   }
   double real(const std::string& key, double dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+    if (it == kv_.end()) return dflt;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+      throw std::invalid_argument("invalid number for --" + key + "=" +
+                                  it->second +
+                                  " (usage: --" + key + "=<number>)");
+    return v;
   }
   bool flag(const std::string& key, bool dflt = false) const {
     auto it = kv_.find(key);

@@ -35,6 +35,11 @@ struct ParallelMeshResult {
   std::vector<double> n_exc_per_domain; ///< gathered on rank 0
   double total_n_exc = 0.0;
   par::TrafficStats traffic;
+  /// Per-rank comm account (op calls/bytes, wait time), one entry per
+  /// rank, sampled by each rank itself just before the final packing
+  /// gather — the gather that ships the accounts is excluded from every
+  /// rank's numbers, so calls/bytes are identical across transports.
+  std::vector<par::RankTraffic> rank_traffic;
   double wall_seconds = 0.0;
 };
 

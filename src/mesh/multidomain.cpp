@@ -1,11 +1,49 @@
 #include "mlmd/mesh/multidomain.hpp"
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <mutex>
 
 #include "mlmd/common/timer.hpp"
 #include "mlmd/common/units.hpp"
 
 namespace mlmd::mesh {
+namespace {
+
+// Fixed op order for the packed per-rank traffic gather. Covers every op
+// Comm can account; packing a map through a collective needs a stable
+// wire layout.
+constexpr const char* kTrafficOps[] = {"barrier", "broadcast", "gather",
+                                       "allgatherv", "allreduce", "send",
+                                       "recv"};
+constexpr std::size_t kNumTrafficOps = 7;
+// 7 ops x {calls, bytes} + bit-cast wait_seconds.
+using PackedTraffic = std::array<std::uint64_t, 2 * kNumTrafficOps + 1>;
+
+PackedTraffic pack_traffic(const par::RankTraffic& rt) {
+  PackedTraffic p{};
+  for (std::size_t i = 0; i < kNumTrafficOps; ++i) {
+    if (auto it = rt.ops.find(kTrafficOps[i]); it != rt.ops.end()) {
+      p[2 * i] = it->second.calls;
+      p[2 * i + 1] = it->second.bytes;
+    }
+  }
+  p[2 * kNumTrafficOps] = std::bit_cast<std::uint64_t>(rt.wait_seconds);
+  return p;
+}
+
+par::RankTraffic unpack_traffic(const PackedTraffic& p) {
+  par::RankTraffic rt;
+  for (std::size_t i = 0; i < kNumTrafficOps; ++i) {
+    if (p[2 * i] == 0) continue; // untouched ops stay absent
+    rt.ops[kTrafficOps[i]] = par::RankOpStats{p[2 * i], p[2 * i + 1]};
+  }
+  rt.wait_seconds = std::bit_cast<double>(p[2 * kNumTrafficOps]);
+  return rt;
+}
+
+} // namespace
 
 ParallelMeshResult run_parallel_mesh(int nranks, const ParallelMeshOptions& opt) {
   ParallelMeshResult result;
@@ -65,10 +103,19 @@ ParallelMeshResult run_parallel_mesh(int nranks, const ParallelMeshOptions& opt)
 
     // (5) single n_exc gather to rank 0 (Sec. V.A.8).
     auto gathered = comm.gather(dom.lfd().n_exc(), 0);
+
+    // (6) per-rank comm accounts: every rank samples its own counters
+    // first, then the packed accounts ride one extra gather (which is
+    // therefore excluded from all sampled numbers — deterministic and
+    // identical across the inproc and shm transports).
+    const PackedTraffic mine = pack_traffic(comm.rank_traffic());
+    auto packed = comm.gather(mine, 0);
     if (rank == 0) {
       std::lock_guard lk(result_mu);
       result.n_exc_per_domain = std::move(gathered);
       for (double v : result.n_exc_per_domain) result.total_n_exc += v;
+      result.rank_traffic.reserve(packed.size());
+      for (const auto& p : packed) result.rank_traffic.push_back(unpack_traffic(p));
     }
   });
 

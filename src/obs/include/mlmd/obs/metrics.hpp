@@ -70,6 +70,20 @@ public:
     const auto n = count();
     return n ? sum() / static_cast<double>(n) : 0.0;
   }
+  /// Fold another histogram's (count, sum, min, max) into this one —
+  /// the join-side half of per-process registry merging (shm transport):
+  /// counts and sums add, extremes combine. A merge with count 0 still
+  /// folds min/max only if they are real observations (min <= max).
+  void merge(std::uint64_t count, double sum, double min, double max) {
+    if (count) {
+      count_.fetch_add(count, std::memory_order_relaxed);
+      add_double(sum_, sum);
+    }
+    if (min <= max) {
+      update_min(min);
+      update_max(max);
+    }
+  }
   void reset();
 
 private:

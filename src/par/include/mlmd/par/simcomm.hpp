@@ -1,9 +1,11 @@
 #pragma once
-// SimComm: an in-process message-passing substrate standing in for MPI
-// (DESIGN.md Sec. 1). Logical ranks run as real threads; collectives and
-// point-to-point transfers move real bytes through shared memory and are
-// metered, so communication volume and message counts measured here match
-// what an MPI build would put on the wire.
+// SimComm: a message-passing substrate standing in for MPI (DESIGN.md
+// Sec. 1 and Sec. 11). Logical ranks run as real threads (the default
+// in-process transport) or as forked worker processes (the shared-memory
+// transport, shm_transport.cpp); collectives and point-to-point
+// transfers move real bytes and are metered, so communication volume and
+// message counts measured here match what an MPI build would put on the
+// wire.
 //
 // The communicator API deliberately mirrors the MPI subset MLMD uses:
 // barrier, broadcast, reduce/allreduce, gather/allgather, alltoall,
@@ -11,6 +13,7 @@
 // by thread limits (hundreds); the paper-scale sweeps (P up to 120,000)
 // use mlmd::perf's calibrated machine model instead.
 
+#include <cmath>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -22,67 +25,44 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "mlmd/obs/trace.hpp"
+#include "mlmd/par/transport.hpp"
 
 namespace mlmd::par {
 
-/// Aggregate traffic counters for one run (summed over all ranks).
-struct TrafficStats {
-  std::uint64_t messages = 0;       ///< point-to-point messages sent
-  std::uint64_t p2p_bytes = 0;      ///< point-to-point payload bytes
-  std::uint64_t collective_ops = 0; ///< collective invocations (per rank)
-  std::uint64_t collective_bytes = 0;
-};
+/// Reduction operators for allreduce/reduce.
+enum class ReduceOp { kSum, kMin, kMax };
 
-/// Calls and contributed payload bytes of one operation kind on one rank.
-struct RankOpStats {
-  std::uint64_t calls = 0;
-  std::uint64_t bytes = 0;
-};
-
-/// Exact per-rank communication account (obs subsystem, DESIGN.md
-/// Sec. 9): every collective entry, point-to-point message, and the wall
-/// time this rank spent blocked waiting on peers. Op keys are the Comm
-/// method names: "barrier", "broadcast", "gather", "allgatherv",
-/// "allreduce", "send", "recv" (allgather and sendrecv account under the
-/// primitives they are built from).
-struct RankTraffic {
-  std::map<std::string, RankOpStats> ops;
-  double wait_seconds = 0.0; ///< total time blocked in barrier/exchange/recv
-};
+class Comm;
 
 namespace detail {
 
-/// Shared state for one group of ranks. Owns mailboxes, the sense-reversing
-/// barrier, and collective scratch space.
-class GroupState {
+/// In-process transport: shared state for one group of ranks running as
+/// threads. Owns mailboxes, the sense-reversing barrier, and collective
+/// scratch space. The default (and TSan-checked) Transport backend.
+class GroupState : public Transport {
 public:
   explicit GroupState(int nranks);
 
-  int size() const { return nranks_; }
+  int size() const override { return nranks_; }
 
-  void barrier(int rank);
-  /// Collective byte exchange: every rank contributes `contrib`; rank
-  /// `root` (or all, if `to_all`) receives the concatenation ordered by
-  /// rank. Implements broadcast/gather/allgather/reduce generically.
-  /// `op` names the calling Comm method for per-rank accounting; it must
-  /// be a string literal (stored, never copied).
+  void barrier(int rank) override;
   std::vector<std::byte> exchange(int rank, std::span<const std::byte> contrib,
-                                  int root, bool to_all, const char* op);
+                                  int root, bool to_all,
+                                  const char* op) override;
 
-  void send(int src, int dst, int tag, std::span<const std::byte> payload);
-  std::vector<std::byte> recv(int dst, int src, int tag);
+  void send(int src, int dst, int tag,
+            std::span<const std::byte> payload) override;
+  std::vector<std::byte> recv(int dst, int src, int tag) override;
 
-  /// Poison the group: every rank blocked (or about to block) in
-  /// barrier/exchange/recv unwinds with a "SimComm aborted" runtime_error
-  /// instead of waiting forever. Called by run() when any rank throws.
-  void abort(const std::string& reason);
+  void abort(const std::string& reason) override;
 
-  TrafficStats stats() const;
-  RankTraffic rank_traffic(int rank) const;
-  void reset_stats();
+  TrafficStats stats() const override;
+  RankTraffic rank_traffic(int rank) const override;
+  void reset_stats() override;
 
 private:
   /// Account one op entry for `rank` and publish to the obs registry.
@@ -133,15 +113,38 @@ private:
   std::vector<RankTraffic> rank_traffic_;
 };
 
+/// Shared-memory transport entry point (shm_transport.cpp): forks one
+/// worker process per rank (the caller hosts rank 0) and runs `body`
+/// against the mmap'd transport. Same contract as the threaded run().
+TrafficStats run_shm(int nranks, const std::function<void(Comm&)>& body);
+
+/// Combine one remote contribution into the running reduction. NaN
+/// propagates through kMin/kMax as well as kSum: a plain `b < a ? b : a`
+/// comparison is false for NaN, so a poisoned contribution (e.g. ft's
+/// nan_force injection) would silently lose to any finite value and the
+/// downstream sentinel would never fire.
+template <class T>
+inline T reduce_combine(T a, T b, ReduceOp op) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (std::isnan(a)) return a;
+    if (std::isnan(b)) return b;
+  }
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return b < a ? b : a;
+    case ReduceOp::kMax: return b > a ? b : a;
+  }
+  return a;
+}
+
 } // namespace detail
 
-/// Reduction operators for allreduce/reduce.
-enum class ReduceOp { kSum, kMin, kMax };
-
-/// Per-rank communicator handle (the `MPI_Comm` + rank analogue).
+/// Per-rank communicator handle (the `MPI_Comm` + rank analogue). Holds
+/// a backend-neutral Transport; everything above this line is unaware of
+/// whether ranks are threads or processes.
 class Comm {
 public:
-  Comm(std::shared_ptr<detail::GroupState> state, int rank)
+  Comm(std::shared_ptr<Transport> state, int rank)
       : state_(std::move(state)), rank_(rank) {}
 
   int rank() const { return rank_; }
@@ -204,11 +207,7 @@ public:
     for (int r = 1; r < size(); ++r) {
       for (std::size_t i = 0; i < n; ++i) {
         T x = all[static_cast<std::size_t>(r) * n + i];
-        switch (op) {
-          case ReduceOp::kSum: out[i] += x; break;
-          case ReduceOp::kMin: out[i] = x < out[i] ? x : out[i]; break;
-          case ReduceOp::kMax: out[i] = x > out[i] ? x : out[i]; break;
-        }
+        out[i] = detail::reduce_combine(out[i], x, op);
       }
     }
     return out;
@@ -259,13 +258,18 @@ private:
     return out;
   }
 
-  std::shared_ptr<detail::GroupState> state_;
+  std::shared_ptr<Transport> state_;
   int rank_;
 };
 
-/// Launch `nranks` logical ranks, each running `body(comm)` on its own
-/// thread, and join them. Exceptions from any rank are rethrown on the
-/// caller. Returns the aggregate traffic stats of the run.
+/// Launch `nranks` logical ranks against the given transport backend and
+/// join them. Exceptions from any rank are rethrown on the caller.
+/// Returns the aggregate traffic stats of the run.
+TrafficStats run(int nranks, TransportKind kind,
+                 const std::function<void(Comm&)>& body);
+
+/// Launch against the process-wide default transport (--transport /
+/// MLMD_TRANSPORT; in-process threads unless overridden).
 TrafficStats run(int nranks, const std::function<void(Comm&)>& body);
 
 } // namespace mlmd::par

@@ -99,6 +99,13 @@ public:
   /// Exposed for unit testing.
   static int parse_env_threads(const char* value);
 
+  /// Call first thing in a forked child: the parent's worker threads do
+  /// not survive fork, so the inherited global pool is a ghost whose
+  /// destructor would join threads that no longer exist. Abandons it
+  /// (deliberate one-time leak) and reinitializes the guard mutex so the
+  /// child can build a fresh pool on first use.
+  static void reset_after_fork();
+
 private:
   struct Task;
 

@@ -1,0 +1,131 @@
+#pragma once
+// SimComm transport abstraction (DESIGN.md Sec. 11). A Transport owns the
+// shared state of one group of ranks and implements the five wire-level
+// primitives every Comm method is built from: barrier, generic collective
+// exchange, tagged point-to-point send/recv, and abort-poisoning. Two
+// backends exist:
+//
+//   * detail::GroupState (simcomm.hpp) — ranks are threads in one
+//     process; mailboxes and collective scratch live on the heap. The
+//     default and the TSan-checked test backend.
+//   * the shared-memory backend (shm_transport.cpp) — ranks are forked
+//     processes; collectives and point-to-point frames move through an
+//     mmap'd region with process-shared (futex-backed) mutex/condvar
+//     signaling. Selected with --transport=shm or MLMD_TRANSPORT=shm.
+//
+// The interface is deliberately identical to what GroupState always
+// exposed, so every collective call site, mlmd::ft fault hook, and
+// mlmd::obs accounting lane is backend-agnostic: per-rank RankTraffic
+// (op calls/bytes) is byte-identical across backends for the same
+// program, only the measured wait times differ.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlmd/obs/metrics.hpp"
+
+namespace mlmd::par {
+
+/// Aggregate traffic counters for one run (summed over all ranks).
+/// Trivially copyable: the shm backend keeps the live instance in the
+/// shared mapping.
+struct TrafficStats {
+  std::uint64_t messages = 0;       ///< point-to-point messages sent
+  std::uint64_t p2p_bytes = 0;      ///< point-to-point payload bytes
+  std::uint64_t collective_ops = 0; ///< collective invocations (per rank)
+  std::uint64_t collective_bytes = 0;
+};
+
+/// Calls and contributed payload bytes of one operation kind on one rank.
+struct RankOpStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Exact per-rank communication account (obs subsystem, DESIGN.md
+/// Sec. 9): every collective entry, point-to-point message, and the wall
+/// time this rank spent blocked waiting on peers. Op keys are the Comm
+/// method names: "barrier", "broadcast", "gather", "allgatherv",
+/// "allreduce", "send", "recv" (allgather and sendrecv account under the
+/// primitives they are built from).
+struct RankTraffic {
+  std::map<std::string, RankOpStats> ops;
+  double wait_seconds = 0.0; ///< total time blocked in barrier/exchange/recv
+};
+
+/// Backend-neutral transport interface for one group of ranks.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  virtual int size() const = 0;
+
+  virtual void barrier(int rank) = 0;
+  /// Collective byte exchange: every rank contributes `contrib`; rank
+  /// `root` (or all, if `to_all`) receives the concatenation ordered by
+  /// rank. Implements broadcast/gather/allgather/reduce generically.
+  /// `op` names the calling Comm method for per-rank accounting; it must
+  /// be a string literal (stored, never copied).
+  virtual std::vector<std::byte> exchange(int rank,
+                                          std::span<const std::byte> contrib,
+                                          int root, bool to_all,
+                                          const char* op) = 0;
+
+  virtual void send(int src, int dst, int tag,
+                    std::span<const std::byte> payload) = 0;
+  virtual std::vector<std::byte> recv(int dst, int src, int tag) = 0;
+
+  /// Poison the group: every rank blocked (or about to block) in
+  /// barrier/exchange/recv unwinds with a "SimComm aborted" runtime_error
+  /// instead of waiting forever. Called by run() when any rank throws.
+  virtual void abort(const std::string& reason) = 0;
+
+  virtual TrafficStats stats() const = 0;
+  virtual RankTraffic rank_traffic(int rank) const = 0;
+  virtual void reset_stats() = 0;
+
+protected:
+  /// Publish one op account ("simcomm.<op>.calls"/".bytes") to the
+  /// process-global obs registry through per-op cached counter handles:
+  /// zero registry lookups and zero heap allocations on the steady-state
+  /// path (the registry names exceed SSO and used to be rebuilt per
+  /// call). `op` must be a string literal.
+  void account_obs(const char* op, std::size_t bytes);
+  /// Publish blocked-wait seconds to the "simcomm.wait.seconds"
+  /// histogram (cached handle).
+  static void account_wait_obs(double seconds);
+
+private:
+  struct OpCell {
+    const char* op = nullptr;
+    obs::Counter* calls = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  static constexpr int kMaxOps = 16;
+  std::array<OpCell, kMaxOps> op_cells_{};
+  std::atomic<int> n_op_cells_{0};
+  std::mutex op_mu_; // guards registrations into op_cells_
+};
+
+/// Selectable transport backends (--transport=inproc|shm).
+enum class TransportKind { kInproc, kShm };
+
+/// Parse a --transport value; throws std::invalid_argument (with the
+/// accepted spellings in the message) on anything else.
+TransportKind parse_transport(const std::string& name);
+const char* transport_name(TransportKind kind);
+
+/// Process-wide default backend used by run(nranks, body). Initialized
+/// from the MLMD_TRANSPORT environment variable ("inproc"/"shm") on first
+/// use; set_default_transport (the --transport flag) overrides it.
+TransportKind default_transport();
+void set_default_transport(TransportKind kind);
+
+} // namespace mlmd::par

@@ -34,9 +34,7 @@ void GroupState::account(int rank, const char* op, std::size_t bytes) {
     e.calls += 1;
     e.bytes += bytes;
   }
-  auto& reg = obs::Registry::global();
-  reg.counter(std::string("simcomm.") + op + ".calls").add(1);
-  reg.counter(std::string("simcomm.") + op + ".bytes").add(bytes);
+  account_obs(op, bytes);
 }
 
 void GroupState::account_wait(int rank, double seconds) {
@@ -44,8 +42,7 @@ void GroupState::account_wait(int rank, double seconds) {
     std::lock_guard sg(stats_mu_);
     rank_traffic_[static_cast<std::size_t>(rank)].wait_seconds += seconds;
   }
-  static auto& h = obs::Registry::global().histogram("simcomm.wait.seconds");
-  h.observe(seconds);
+  account_wait_obs(seconds);
 }
 
 void GroupState::throw_if_aborted_locked() const {
@@ -218,7 +215,10 @@ void GroupState::reset_stats() {
 
 } // namespace detail
 
-TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
+/// Threaded (in-process) run: the reference implementation the shm
+/// backend must be indistinguishable from.
+static TrafficStats run_inproc(int nranks,
+                               const std::function<void(Comm&)>& body) {
   auto state = std::make_shared<detail::GroupState>(nranks);
 
   std::vector<std::thread> threads;
@@ -258,6 +258,19 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
   return state->stats();
+}
+
+TrafficStats run(int nranks, TransportKind kind,
+                 const std::function<void(Comm&)>& body) {
+  switch (kind) {
+    case TransportKind::kShm: return detail::run_shm(nranks, body);
+    case TransportKind::kInproc: break;
+  }
+  return run_inproc(nranks, body);
+}
+
+TrafficStats run(int nranks, const std::function<void(Comm&)>& body) {
+  return run(nranks, default_transport(), body);
 }
 
 } // namespace mlmd::par

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <new>
 
 #include "mlmd/obs/metrics.hpp"
 #include "mlmd/obs/trace.hpp"
@@ -208,6 +209,16 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::set_global_threads(int n) {
   std::lock_guard lk(g_pool_mu);
   g_pool = std::make_unique<ThreadPool>(n);
+}
+
+void ThreadPool::reset_after_fork() {
+  // Only the forking thread exists in the child, so nobody can hold
+  // g_pool_mu legitimately — but if the fork raced another thread's
+  // global() call the mutex may be left locked forever. Re-initialize it
+  // in place, then abandon the inherited pool object: its workers died
+  // with the parent's address space and ~ThreadPool would join forever.
+  new (&g_pool_mu) std::mutex();
+  (void)g_pool.release(); // leak the ghost pool, never run its destructor
 }
 
 } // namespace mlmd::par

@@ -1,0 +1,87 @@
+#include "mlmd/par/transport.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace mlmd::par {
+
+void Transport::account_obs(const char* op, std::size_t bytes) {
+  // Fast path: linear scan over the (tiny, append-only) cell table. Cells
+  // are published with release order after both counter handles are set,
+  // so an acquire load of the count makes every cell at index < n fully
+  // visible — no lock, no heap string, no registry lookup per comm call.
+  const int n = n_op_cells_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const OpCell& c = op_cells_[static_cast<std::size_t>(i)];
+    // `op` is contractually a string literal, but distinct literals with
+    // equal spellings may have distinct addresses across TUs; fall back
+    // to a content compare on pointer mismatch.
+    if (c.op == op || std::strcmp(c.op, op) == 0) {
+      c.calls->add(1);
+      c.bytes->add(bytes);
+      return;
+    }
+  }
+  // Slow path (first call per op per transport): register the counters.
+  std::lock_guard lk(op_mu_);
+  // Another rank may have registered while we waited for the lock.
+  const int cur = n_op_cells_.load(std::memory_order_acquire);
+  for (int i = 0; i < cur; ++i) {
+    const OpCell& c = op_cells_[static_cast<std::size_t>(i)];
+    if (c.op == op || std::strcmp(c.op, op) == 0) {
+      c.calls->add(1);
+      c.bytes->add(bytes);
+      return;
+    }
+  }
+  if (cur >= kMaxOps)
+    throw std::logic_error("SimComm: op cell table full (unknown op name?)");
+  auto& reg = obs::Registry::global();
+  OpCell& cell = op_cells_[static_cast<std::size_t>(cur)];
+  cell.op = op;
+  cell.calls = &reg.counter(std::string("simcomm.") + op + ".calls");
+  cell.bytes = &reg.counter(std::string("simcomm.") + op + ".bytes");
+  n_op_cells_.store(cur + 1, std::memory_order_release);
+  cell.calls->add(1);
+  cell.bytes->add(bytes);
+}
+
+void Transport::account_wait_obs(double seconds) {
+  static auto& h = obs::Registry::global().histogram("simcomm.wait.seconds");
+  h.observe(seconds);
+}
+
+TransportKind parse_transport(const std::string& name) {
+  if (name == "inproc" || name == "threads") return TransportKind::kInproc;
+  if (name == "shm" || name == "procs") return TransportKind::kShm;
+  throw std::invalid_argument("unknown transport '" + name +
+                              "' (expected inproc|shm)");
+}
+
+const char* transport_name(TransportKind kind) {
+  return kind == TransportKind::kShm ? "shm" : "inproc";
+}
+
+namespace {
+
+TransportKind env_default_transport() {
+  if (const char* e = std::getenv("MLMD_TRANSPORT"); e && *e)
+    return parse_transport(e);
+  return TransportKind::kInproc;
+}
+
+TransportKind& default_transport_slot() {
+  static TransportKind kind = env_default_transport();
+  return kind;
+}
+
+} // namespace
+
+TransportKind default_transport() { return default_transport_slot(); }
+
+void set_default_transport(TransportKind kind) {
+  default_transport_slot() = kind;
+}
+
+} // namespace mlmd::par

@@ -198,6 +198,34 @@ TEST(Cli, ParsesTypes) {
   EXPECT_FALSE(cli.has("positional"));
 }
 
+TEST(Cli, RejectsTrailingGarbageInNumbers) {
+  // strtol/strtod stop at the first bad character; the getters must treat
+  // a partial parse as an error, not silently truncate --n=8x to 8.
+  const char* argv[] = {"prog", "--n=8x", "--x=1e3garbage", "--empty="};
+  mlmd::Cli cli(4, argv);
+  EXPECT_THROW((void)cli.integer("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.real("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.integer("empty", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.real("empty", 0.0), std::invalid_argument);
+  try {
+    (void)cli.integer("n", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending flag and hints at the usage.
+    EXPECT_NE(std::string(e.what()).find("--n=8x"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("usage"), std::string::npos);
+  }
+}
+
+TEST(Cli, AcceptsFullNumericValues) {
+  const char* argv[] = {"prog", "--n=-17", "--x=2.5e-3", "--y=inf"};
+  mlmd::Cli cli(4, argv);
+  EXPECT_EQ(cli.integer("n", 0), -17);
+  EXPECT_DOUBLE_EQ(cli.real("x", 0.0), 2.5e-3);
+  // strtod accepts "inf"; the whole value parsed, so no throw.
+  EXPECT_TRUE(std::isinf(cli.real("y", 0.0)));
+}
+
 TEST(Aligned, AllocationAligned) {
   std::vector<double, mlmd::AlignedAllocator<double>> v(1000);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % mlmd::kSimdAlign, 0u);

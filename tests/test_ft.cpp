@@ -178,6 +178,28 @@ TEST(FaultPlan, NanForceFiresOnceAtItsStep) {
   EXPECT_EQ(ft::active_plan()->fired(), 1);
 }
 
+TEST(FaultPlan, InjectedNanSurvivesEveryAllreduceOp) {
+  // Regression: kMin/kMax folded with plain comparisons, which are false
+  // for NaN, so a nan_force poison injected on one rank silently lost to
+  // any finite contribution and the downstream NaN sentinels never fired.
+  // The poison must reach every rank under all three reduce operators.
+  for (par::ReduceOp op :
+       {par::ReduceOp::kSum, par::ReduceOp::kMin, par::ReduceOp::kMax}) {
+    ft::ScopedFaults faults("nan_force@step=1");
+    std::array<int, 3> nan_seen{};
+    par::run(3, [&](par::Comm& c) {
+      std::vector<double> f(4, 1.0 + static_cast<double>(c.rank()));
+      if (c.rank() == 1) ft::hook_forces(1, f.data(), f.size());
+      const auto red = c.allreduce(std::span<const double>(f), op);
+      for (double x : red)
+        if (std::isnan(x)) nan_seen[static_cast<std::size_t>(c.rank())] = 1;
+    });
+    EXPECT_EQ(ft::active_plan()->fired(), 1);
+    for (int s : nan_seen)
+      EXPECT_EQ(s, 1) << "NaN lost under op " << static_cast<int>(op);
+  }
+}
+
 TEST(FaultPlan, BitflipCorruptsOneCollectivePayload) {
   ft::ScopedFaults faults("bitflip@rank=0,seed=9");
   const std::vector<double> original = {1.0, 2.0, 3.0};

@@ -7,14 +7,41 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mlmd/obs/obs.hpp"
 #include "mlmd/par/simcomm.hpp"
+
+// Process-wide allocation counter backing
+// Obs.AccountSteadyStateIsAllocationFree: replacing the global operator
+// new/delete pair is the only way to observe every heap allocation on the
+// comm-accounting hot path. Replacements must live at global scope.
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+// GCC's heuristic cannot see that these replacements pair malloc with
+// free consistently and flags every inlined delete site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -331,6 +358,44 @@ TEST(Obs, CommTotalsTracksSimCommBytes) {
   // Two ranks each contributed 64 payload bytes to the allreduce.
   EXPECT_EQ(t1.bytes - t0.bytes, 128u);
   EXPECT_GE(t1.wait_seconds, t0.wait_seconds);
+}
+
+TEST(Obs, AccountSteadyStateIsAllocationFree) {
+  // The per-op counter handles are cached after first use, the per-rank
+  // traffic map keys are short enough for SSO, and the wait histogram
+  // handle is static — so after a short warm-up, comm accounting must not
+  // touch the heap at all (barrier is the pure-accounting op: no payload).
+  using namespace mlmd::par;
+  Tracer::enable(false);
+  run(1, [](Comm& comm) {
+    for (int i = 0; i < 8; ++i) comm.barrier(); // warm all cached handles
+    const std::uint64_t before = g_heap_allocs.load();
+    for (int i = 0; i < 256; ++i) comm.barrier();
+    const std::uint64_t after = g_heap_allocs.load();
+    EXPECT_EQ(after - before, 0u);
+  });
+}
+
+TEST(Obs, HistogramMergeFoldsCountsSumsAndExtremes) {
+  auto& h = mlmd::obs::Registry::global().histogram("test.hist.merge");
+  h.reset();
+  h.observe(2.0);
+  h.merge(/*count=*/3, /*sum=*/6.0, /*min=*/1.0, /*max=*/4.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  // An empty remote histogram (count 0, min > max sentinel) is a no-op.
+  h.merge(0, 0.0, std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  // A count-0 merge can still carry real extremes (idempotent child
+  // snapshot that inherited the parent's min/max).
+  h.merge(0, 0.0, 0.5, 0.5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
 }
 
 TEST(Obs, InitTracingPrefersCliOverEnv) {
