@@ -253,8 +253,8 @@ int main(int argc, char** argv) {
     if (cli.has("threads"))
       par::ThreadPool::set_global_threads(
           static_cast<int>(cli.integer("threads", 0)));
-    if (cli.has("transport"))
-      par::set_default_transport(par::parse_transport(cli.str("transport")));
+    par::set_default_transport(cli.choice("transport", par::kTransportChoices,
+                                          par::default_transport()));
     const std::string trace_path =
         obs::init_tracing(cli.has("trace") ? cli.str("trace") : "");
     if (cmd == "pipeline") rc = run_pipeline_cmd(cli);

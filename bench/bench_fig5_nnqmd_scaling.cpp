@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
     model = cli.flag("model", true);
     node_speedup = cli.real("node_speedup", 1000.0);
     json_path = cli.str("json", "");
-    if (cli.has("transport"))
-      par::set_default_transport(par::parse_transport(cli.str("transport")));
+    par::set_default_transport(cli.choice("transport", par::kTransportChoices,
+                                          par::default_transport()));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -25,6 +25,14 @@
 // Sec. 11) identifying the backend, so scaling points measured over real
 // process boundaries are distinguishable from threaded ones.
 //
+// Every file additionally carries an optional "machine" block
+//
+//   "machine": {"simd": "<scalar|avx2|avx512>", "cpu_flags": ["avx2", ...]}
+//
+// recording the resolved mlmd::simd dispatch target (DESIGN.md Sec. 12)
+// and the cpuid feature flags of the measuring host, so a recorded number
+// can always be traced back to the micro-kernel ISA that produced it.
+//
 // When the measured run exercised the fault-tolerance layer (DESIGN.md
 // Sec. 10) the object additionally carries an optional "ft" block
 //
@@ -40,6 +48,7 @@
 #include <vector>
 
 #include "mlmd/obs/metrics.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace mlmd::benchjson {
 
@@ -90,6 +99,12 @@ inline bool write(const std::string& path, const std::vector<Record>& recs,
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
   std::fprintf(fp, "{\"schema_version\": %d, ", kSchemaVersion);
+  std::fprintf(fp, "\"machine\": {\"simd\": \"%s\", \"cpu_flags\": [",
+               simd::target_name(simd::active_target()));
+  const auto flags = simd::caps_strings();
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    std::fprintf(fp, "%s\"%s\"", i ? ", " : "", flags[i].c_str());
+  std::fprintf(fp, "]}, ");
   if (!transport.empty())
     std::fprintf(fp, "\"transport\": \"%s\", ", transport.c_str());
   std::fprintf(fp, "\"records\": [\n");

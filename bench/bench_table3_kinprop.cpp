@@ -17,10 +17,19 @@
 #include "mlmd/common/cli.hpp"
 #include "mlmd/common/timer.hpp"
 #include "mlmd/lfd/kin_prop.hpp"
+#include "mlmd/simd/simd.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlmd;
   Cli cli(argc, argv);
+  try {
+    simd::set_target(
+        cli.choice("simd", simd::kTargetChoices, simd::active_target()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("# simd target: %s\n", simd::target_name(simd::active_target()));
   const bool paper = cli.flag("paper");
   const std::size_t nx = paper ? 70 : static_cast<std::size_t>(cli.integer("n", 32));
   const std::size_t ny = nx;

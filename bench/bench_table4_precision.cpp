@@ -22,6 +22,7 @@
 #include "mlmd/la/matrix.hpp"
 #include "mlmd/lfd/kin_prop.hpp"
 #include "mlmd/lfd/nlp_prop.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace {
 
@@ -61,6 +62,14 @@ double bf16_accuracy(std::size_t n, std::size_t norb) {
 int main(int argc, char** argv) {
   using namespace mlmd;
   Cli cli(argc, argv);
+  try {
+    simd::set_target(
+        cli.choice("simd", simd::kTargetChoices, simd::active_target()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("# simd target: %s\n", simd::target_name(simd::active_target()));
   const bool paper = cli.flag("paper");
   // Paper sizes need ~GBs and hours in software; defaults are scaled so
   // the arithmetic-intensity trend is visible in seconds.

@@ -32,6 +32,7 @@
 #include "mlmd/maxwell/maxwell3d.hpp"
 #include "mlmd/obs/obs.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace {
 
@@ -77,11 +78,18 @@ int main(int argc, char** argv) {
   using cf = std::complex<float>;
   Cli cli(argc, argv);
   if (!cli.check_known({"threads", "paper", "norb", "n", "reps", "trace",
-                        "json"},
+                        "json", "simd"},
                        "usage: bench_table5_kernels [--threads=N] [--paper] "
                        "[--norb=N] [--n=N] [--reps=N] [--trace[=path]] "
-                       "[--json=path]"))
+                       "[--json=path] [--simd=scalar|avx2|avx512]"))
     return 1;
+  try {
+    simd::set_target(
+        cli.choice("simd", simd::kTargetChoices, simd::active_target()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   if (cli.has("threads"))
     par::ThreadPool::set_global_threads(
         static_cast<int>(cli.integer("threads", 0)));

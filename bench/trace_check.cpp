@@ -270,6 +270,40 @@ int check_bench(const Value& root) {
       }
   }
 
+  // Optional machine block (DESIGN.md Sec. 12): when present it must name
+  // a known simd dispatch target and carry a cpu_flags array of strings,
+  // so recorded numbers stay attributable to the kernel ISA that produced
+  // them.
+  std::string simd_target;
+  if (root.obj.count("machine")) {
+    const Value* m = field(root, "machine", Value::Kind::kObject);
+    if (!m) {
+      std::fprintf(stderr, "trace_check: \"machine\" is not an object\n");
+      return 1;
+    }
+    const Value* s = field(*m, "simd", Value::Kind::kString);
+    if (!s || (s->str != "scalar" && s->str != "avx2" && s->str != "avx512")) {
+      std::fprintf(stderr,
+                   "trace_check: machine.simd must be \"scalar\", \"avx2\" "
+                   "or \"avx512\"\n");
+      return 1;
+    }
+    const Value* fl = field(*m, "cpu_flags", Value::Kind::kArray);
+    if (!fl) {
+      std::fprintf(stderr,
+                   "trace_check: machine block lacks cpu_flags array\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < fl->arr.size(); ++i)
+      if (fl->arr[i]->kind != Value::Kind::kString) {
+        std::fprintf(stderr,
+                     "trace_check: machine.cpu_flags[%zu] is not a string\n",
+                     i);
+        return 1;
+      }
+    simd_target = s->str;
+  }
+
   // Optional transport tag (DESIGN.md Sec. 11): when present it must be
   // one of the SimComm backend names, so downstream scaling plots can
   // trust the measured-over-processes distinction.
@@ -322,8 +356,9 @@ int check_bench(const Value& root) {
     have_ft = true;
   }
 
-  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s\n",
+  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s\n",
               static_cast<int>(ver->num), recs->arr.size(),
+              simd_target.empty() ? "" : ", simd ", simd_target.c_str(),
               transport.empty() ? "" : ", transport ",
               transport.c_str(), have_ft ? ", ft block present" : "");
   return 0;

@@ -5,12 +5,25 @@
 // code stays clean. Without a device, "placement" here means alignment.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
 namespace mlmd {
 
+/// One cache line, and the strongest vector-load alignment any mlmd::simd
+/// target needs (64 B covers a full AVX-512 zmm register). Every hot-path
+/// allocation site — this allocator, the Workspace arena, the packed GEMM
+/// panels — aligns to this so the dispatched micro-kernels can use
+/// aligned vector loads unconditionally.
 inline constexpr std::size_t kSimdAlign = 64;
+
+/// True when `p` sits on an `align`-byte boundary. Tests assert this on
+/// Workspace scratch and packed GEMM panels instead of trusting the
+/// allocation sites.
+inline bool is_aligned(const void* p, std::size_t align = kSimdAlign) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
 
 /// std::allocator drop-in with 64-byte alignment.
 template <class T, std::size_t Align = kSimdAlign>

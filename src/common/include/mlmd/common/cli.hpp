@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mlmd {
@@ -70,6 +71,29 @@ public:
     auto it = kv_.find(key);
     if (it == kv_.end()) return dflt;
     return it->second != "0" && it->second != "false";
+  }
+
+  /// Enum-valued option against a (name, value) table — the one shared
+  /// implementation of `--transport=`/`--simd=`-style choices (each app
+  /// used to hand-roll its own). An unknown value throws
+  /// std::invalid_argument listing every accepted spelling, so the error
+  /// is exhaustive no matter which front-end surfaces it. Aliases are
+  /// extra table rows mapping to the same value.
+  template <class E, std::size_t N>
+  E choice(const std::string& key, const std::pair<const char*, E> (&valid)[N],
+           E dflt) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    for (const auto& [name, value] : valid)
+      if (it->second == name) return value;
+    std::string expected;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (i) expected += "|";
+      expected += valid[i].first;
+    }
+    throw std::invalid_argument("invalid value for --" + key + "=" +
+                                it->second + " (usage: --" + key + "=" +
+                                expected + ")");
   }
 
   /// Keys given on the command line that are not in `known` (sorted,

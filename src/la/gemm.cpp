@@ -8,6 +8,7 @@
 #include "mlmd/common/workspace.hpp"
 #include "mlmd/obs/trace.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace mlmd::la {
 namespace {
@@ -54,92 +55,38 @@ std::size_t op_cols(const Matrix<T>& a, Trans t) {
   return t == Trans::kN ? a.cols() : a.rows();
 }
 
-// ---- blocking parameters (DESIGN.md §8) -----------------------------------
+// ---- blocking parameters (DESIGN.md §8, §12) ------------------------------
 //
 // Macro blocking: row-panels of kMC C rows (one parallel work unit), with
 // the reduction split into kKC-deep passes so one packed B micro-panel
 // (kKC x NR) plus one packed A micro-panel (kMC x kKC) stay cache-resident.
 // Register blocking: an MR x NR accumulator tile held in registers across
-// the whole k-pass. Tile shapes are sized to the 16-register baseline SIMD
-// ISA (SSE2 doubles/floats); with -DMLMD_NATIVE=ON wider vectors simply
-// hold the same tile in fewer registers.
+// the whole k-pass. The micro-kernels and their MR/NR shapes come from the
+// mlmd::simd dispatch table — retuned per ISA (scalar 4x16/4x8/2x8/2x8,
+// AVX2 6x16/6x8/4x8/4x4, AVX-512 8x32/8x16/8x16/8x8) — and every target
+// reduces each C element in strictly ascending p order with a single
+// accumulator, so tile shape never changes results: any target is
+// bit-identical to a scalar ascending-k dot product.
+//
+// Panel alignment contract (asserted by the aligned loads inside the
+// intrinsic kernels): Workspace allocations are 64-byte aligned, and for
+// every dispatchable tile shape the per-p packed-B stride NR*rpc*sizeof(R)
+// is a multiple of 64, so each packed micro-panel row — and the NR-real /
+// NR-imag half-rows of the complex layout — stays 64-byte aligned.
 
 constexpr std::size_t kMC = 64;  // rows of C per macro-tile (work unit)
 constexpr std::size_t kKC = 256; // reduction depth per pass
-
-template <class T>
-struct Tile {
-  static constexpr std::size_t MR = 4, NR = 16; // float
-};
-template <>
-struct Tile<double> {
-  static constexpr std::size_t MR = 4, NR = 8;
-};
-template <class R>
-struct Tile<std::complex<R>> {
-  static constexpr std::size_t MR = 2, NR = 8;
-};
-
-// ---- micro-kernels --------------------------------------------------------
-//
-// Both kernels accumulate each C element in strictly ascending p order with
-// a single accumulator — the register tile — so a C element's reduction is
-// bit-identical to a scalar ascending-k dot product. `#pragma omp simd`
-// vectorizes the contiguous NR direction only; the reduction dimension is
-// never reassociated.
-
-/// acc[MR][NR] += sum_p a[p*MR + i] * b[p*NR + j]  (a, b packed).
-template <class T, std::size_t MR, std::size_t NR>
-void ukern_real(std::size_t kc, const T* __restrict__ ap,
-                const T* __restrict__ bp, T* __restrict__ acc) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const T* a = ap + p * MR;
-    const T* b = bp + p * NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const T av = a[i];
-      T* c = acc + i * NR;
-#pragma omp simd
-      for (std::size_t j = 0; j < NR; ++j) c[j] += av * b[j];
-    }
-  }
-}
-
-/// Complex micro-kernel on split-real packed panels: a is interleaved
-/// (re,im) per row, b is de-interleaved per p (NR reals then NR imags),
-/// accumulators are separate re/im planes. The manual expansion matches
-/// the `cr += ar*xr - ai*xi` form (std::complex operator* would route
-/// through the scalar, NaN-correct __mul?c3).
-template <class R, std::size_t MR, std::size_t NR>
-void ukern_cplx(std::size_t kc, const R* __restrict__ ap,
-                const R* __restrict__ bp, R* __restrict__ accr,
-                R* __restrict__ acci) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const R* a = ap + p * 2 * MR;
-    const R* br = bp + p * 2 * NR;
-    const R* bi = br + NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const R ar = a[2 * i], ai = a[2 * i + 1];
-      R* cr = accr + i * NR;
-      R* ci = acci + i * NR;
-#pragma omp simd
-      for (std::size_t j = 0; j < NR; ++j) {
-        cr[j] += ar * br[j] - ai * bi[j];
-        ci[j] += ar * bi[j] + ai * br[j];
-      }
-    }
-  }
-}
 
 // ---- packing --------------------------------------------------------------
 
 /// Pack one op(B) column micro-panel: columns [j0, j0+NR) (zero-padded),
 /// reduction rows [p0, p0+kc). Real layout: dst[p*NR + jj]. Complex
-/// layout: dst[p*2NR + jj] = re, dst[p*2NR + NR + jj] = im.
+/// layout: dst[p*2NR + jj] = re, dst[p*2NR + NR + jj] = im. NR is the
+/// active dispatch target's tile width.
 template <class T>
 void pack_b_panel(const T* b, std::size_t ldb, Trans tb, std::size_t p0,
                   std::size_t kc, std::size_t j0, std::size_t nr,
-                  typename scalar_of<T>::type* dst) {
-  constexpr std::size_t NR = Tile<T>::NR;
+                  std::size_t NR, typename scalar_of<T>::type* dst) {
   using R = typename scalar_of<T>::type;
   if constexpr (std::is_arithmetic_v<T>) {
     if (tb == Trans::kN) {
@@ -189,11 +136,12 @@ void pack_b_panel(const T* b, std::size_t ldb, Trans tb, std::size_t p0,
 /// Pack alpha*op(A) rows [i0, i0+mc) x [p0, p0+kc) into MR-row micro-panels
 /// (zero-padded): panel ib holds rows i0+ib*MR..+MR with layout
 /// dst[ib*kc*MR + p*MR + r] (complex: interleaved re/im, stride 2*MR).
+/// MR is the active dispatch target's tile height.
 template <class T>
 void pack_a_panel(const T* a, std::size_t lda, Trans ta, T alpha,
                   std::size_t i0, std::size_t mc, std::size_t p0,
-                  std::size_t kc, typename scalar_of<T>::type* dst) {
-  constexpr std::size_t MR = Tile<T>::MR;
+                  std::size_t kc, std::size_t MR,
+                  typename scalar_of<T>::type* dst) {
   using R = typename scalar_of<T>::type;
   constexpr std::size_t rpc = is_cplx_v<T> ? 2 : 1;
   const std::size_t nib = (mc + MR - 1) / MR;
@@ -248,14 +196,27 @@ void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
                  std::size_t k, T alpha, const T* a, std::size_t lda,
                  const T* b, std::size_t ldb, T beta, T* c, std::size_t ldc) {
   using R = typename scalar_of<T>::type;
-  constexpr std::size_t MR = Tile<T>::MR;
-  constexpr std::size_t NR = Tile<T>::NR;
   constexpr std::size_t rpc = is_cplx_v<T> ? 2 : 1;
 
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == T{}) {
     scale_c(beta, c, m, n, ldc);
     return;
+  }
+
+  // Resolve the active dispatch target's micro-kernel once per call; the
+  // tile shape (MR x NR) drives packing and blocking below.
+  [[maybe_unused]] simd::GemmUkern<T> ukr{};
+  [[maybe_unused]] simd::CplxUkern<R> ukc{};
+  std::size_t MR, NR;
+  if constexpr (std::is_arithmetic_v<T>) {
+    ukr = simd::gemm_ukern<T>();
+    MR = ukr.mr;
+    NR = ukr.nr;
+  } else {
+    ukc = simd::cplx_ukern<R>();
+    MR = ukc.mr;
+    NR = ukc.nr;
   }
 
   const std::size_t njb = (n + NR - 1) / NR;
@@ -275,8 +236,8 @@ void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
     // grain: deterministic at any thread count.
     par::parallel_for(0, njb, 8, [&](std::size_t jb0, std::size_t jb1) {
       for (std::size_t jb = jb0; jb < jb1; ++jb)
-        pack_b_panel(b, ldb, tb, p0, kc, jb * NR,
-                     std::min(NR, n - jb * NR), bpanel + jb * kc * NR * rpc);
+        pack_b_panel(b, ldb, tb, p0, kc, jb * NR, std::min(NR, n - jb * NR),
+                     NR, bpanel + jb * kc * NR * rpc);
     });
 
     // Macro-tiles of C rows are independent: the pool hands each worker
@@ -290,19 +251,30 @@ void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
         const std::size_t nib = (mc + MR - 1) / MR;
         common::Workspace::Frame lf(lws);
         R* apanel = lws.get<R>(nib * kc * MR * rpc);
-        pack_a_panel(a, lda, ta, alpha, i0, mc, p0, kc, apanel);
+        pack_a_panel(a, lda, ta, alpha, i0, mc, p0, kc, MR, apanel);
 
         for (std::size_t ib = 0; ib < nib; ++ib) {
           const std::size_t i = i0 + ib * MR;
-          const std::size_t mr = std::min(MR, m - i);
+          // Clamp to this row block's extent (mc), not the whole matrix:
+          // when MR does not divide kMC the block's last tile must not
+          // overhang into rows owned by the next macro-tile (another
+          // worker's rows — and beta would be applied to them twice).
+          const std::size_t mr = std::min(MR, mc - ib * MR);
           const R* ap = apanel + ib * kc * MR * rpc;
           for (std::size_t jb = 0; jb < njb; ++jb) {
             const std::size_t j = jb * NR;
             const std::size_t nr = std::min(NR, n - j);
             const R* bp = bpanel + jb * kc * NR * rpc;
 
+            // Stack accumulator tiles sized for the widest dispatch
+            // target and 64-byte aligned: the intrinsic kernels use
+            // aligned vector loads on their rows (every tile shape keeps
+            // NR*sizeof(R) a multiple of 32, and the engine zero-fills
+            // the full MR x NR so padded rows never feed garbage into
+            // the kernel's vector lanes).
             if constexpr (std::is_arithmetic_v<T>) {
-              T acc[MR * NR] = {};
+              alignas(64) T acc[simd::kMaxAccElems];
+              for (std::size_t e = 0; e < MR * NR; ++e) acc[e] = T{};
               if (first) {
                 // beta folded into the first k-pass: C is read and
                 // beta-scaled here, inside the parallel tile, never in a
@@ -316,12 +288,14 @@ void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
                   for (std::size_t jj = 0; jj < nr; ++jj)
                     acc[ii * NR + jj] = c[(i + ii) * ldc + j + jj];
               }
-              ukern_real<T, MR, NR>(kc, ap, bp, acc);
+              ukr.fn(kc, ap, bp, acc);
               for (std::size_t ii = 0; ii < mr; ++ii)
                 for (std::size_t jj = 0; jj < nr; ++jj)
                   c[(i + ii) * ldc + j + jj] = acc[ii * NR + jj];
             } else {
-              R accr[MR * NR] = {}, acci[MR * NR] = {};
+              alignas(64) R accr[simd::kMaxAccElems];
+              alignas(64) R acci[simd::kMaxAccElems];
+              for (std::size_t e = 0; e < MR * NR; ++e) accr[e] = acci[e] = R{};
               if (first) {
                 if (beta != T{})
                   for (std::size_t ii = 0; ii < mr; ++ii)
@@ -338,7 +312,7 @@ void gemm_engine(Trans ta, Trans tb, std::size_t m, std::size_t n,
                     acci[ii * NR + jj] = v.imag();
                   }
               }
-              ukern_cplx<R, MR, NR>(kc, ap, bp, accr, acci);
+              ukc.fn(kc, ap, bp, accr, acci);
               for (std::size_t ii = 0; ii < mr; ++ii)
                 for (std::size_t jj = 0; jj < nr; ++jj)
                   c[(i + ii) * ldc + j + jj] =

@@ -12,16 +12,23 @@
 //     (ComputeMode::kBF16{,x2,x3}) and products of components are
 //     accumulated in FP32, mirroring systolic-array semantics.
 //
-// Engine layout (DESIGN.md §8): op(B) is packed into column micro-panels
-// and alpha*op(A) into row micro-panels inside each k-block, and an
-// explicit register-tiled micro-kernel (4x16 real, 2x8 complex
-// accumulators) drives all four precisions. Packing scratch comes from
-// the thread-local mlmd::common::Workspace arena, so steady-state calls
-// are allocation-free. Determinism: tile decomposition and accumulation
-// order depend only on shapes — never on the thread count — and each
-// C element is reduced in strictly ascending k order, so results are
-// bit-identical for any thread count and bit-identical to a scalar
-// ascending-k dot product (the contract Mlp::forward_batch relies on).
+// Engine layout (DESIGN.md §8, §12): op(B) is packed into column
+// micro-panels and alpha*op(A) into row micro-panels inside each k-block,
+// and a register-tiled micro-kernel resolved through the mlmd::simd
+// dispatch table (scalar / AVX2 / AVX-512, selected per host cpuid or
+// MLMD_SIMD / --simd=) drives all four precisions. The MR x NR tile
+// shape is a property of the resolved kernel — the engine reads it from
+// the table each call, so blocking retunes itself per ISA. Packing
+// scratch comes from the thread-local mlmd::common::Workspace arena
+// (64-byte aligned, so the intrinsic kernels' aligned panel loads are
+// legal), and steady-state calls are allocation-free. Determinism: tile
+// decomposition and accumulation order depend only on shapes — never on
+// the thread count or the active ISA — and each C element is reduced in
+// strictly ascending k order with no fused multiply-add, so results are
+// bit-identical for any thread count AND any dispatch target: every
+// intrinsic variant rounds exactly like the scalar ascending-k dot
+// product (the contract Mlp::forward_batch relies on; asserted by
+// `ctest -L simd`).
 //
 // All entry points record analytic FLOP counts via mlmd::flops.
 

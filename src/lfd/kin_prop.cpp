@@ -6,6 +6,7 @@
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/units.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace mlmd::lfd {
 namespace {
@@ -69,21 +70,15 @@ void check_even(const grid::Grid3& g) {
     throw std::invalid_argument("kin_prop: grid extents must be even");
 }
 
-/// Apply one bond rotation to the orbital range [s0, s1) of rows u, v.
+/// Apply one bond rotation to the orbital range [s0, s1) of rows u, v
+/// through the dispatched kernel `rot` (resolved once per sweep by the
+/// caller — mlmd::simd, bit-identical across targets).
 template <class Real>
-inline void rotate_rows(std::complex<Real>* __restrict__ u,
-                        std::complex<Real>* __restrict__ v,
-                        const BondCoef<Real>& c, std::size_t s0, std::size_t s1) {
-  const Real cs = c.cs;
-  const Real ar = c.cuv.real(), ai = c.cuv.imag();
-  const Real br = c.cvu.real(), bi = c.cvu.imag();
-#pragma omp simd
-  for (std::size_t s = s0; s < s1; ++s) {
-    const Real ur = u[s].real(), ui = u[s].imag();
-    const Real vr = v[s].real(), vi = v[s].imag();
-    u[s] = {cs * ur + ar * vr - ai * vi, cs * ui + ar * vi + ai * vr};
-    v[s] = {cs * vr + br * ur - bi * ui, cs * vi + br * ui + bi * ur};
-  }
+inline void rotate_rows(std::complex<Real>* u, std::complex<Real>* v,
+                        const BondCoef<Real>& c, std::size_t s0, std::size_t s1,
+                        simd::RotateRowsFn<Real> rot) {
+  rot(u + s0, v + s0, c.cs, c.cuv.real(), c.cuv.imag(), c.cvu.real(),
+      c.cvu.imag(), s1 - s0);
 }
 
 /// One even/odd bond sweep along `axis` over the orbital range [s0, s1).
@@ -94,6 +89,7 @@ void sweep(SoAWave<Real>& w, int axis, int parity, const BondCoef<Real>& c,
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
   const std::size_t nbonds = geo.n / 2;
+  const simd::RotateRowsFn<Real> rot = simd::rotate_fn<Real>();
 
   // Bonds within one parity sweep touch disjoint row pairs, so the
   // flattened (bond, i1) units can be claimed freely by pool workers.
@@ -108,21 +104,10 @@ void sweep(SoAWave<Real>& w, int axis, int parity, const BondCoef<Real>& c,
       for (std::size_t i2 = 0; i2 < geo.e2; ++i2) {
         auto* u = psi + (base_u + i2 * geo.s2) * norb;
         auto* v = psi + (base_v + i2 * geo.s2) * norb;
-        rotate_rows(u, v, c, s0, s1);
+        rotate_rows(u, v, c, s0, s1, rot);
       }
     }
   });
-}
-
-/// Uniform phase multiply over the orbital range of one row.
-template <class Real>
-inline void phase_row(std::complex<Real>* __restrict__ row, Real pr, Real pi,
-                      std::size_t s0, std::size_t s1) {
-#pragma omp simd
-  for (std::size_t s = s0; s < s1; ++s) {
-    const Real r = row[s].real(), im = row[s].imag();
-    row[s] = {pr * r - pi * im, pr * im + pi * r};
-  }
 }
 
 // ---- blocking/tiling (Sec. V.B.3): pass-fused, cache-tiled sweeps -------
@@ -145,6 +130,8 @@ void fused_sweep_z(SoAWave<Real>& w, const BondCoef<Real>& c, bool with_diag,
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
   const std::size_t nlines = g.nx * g.ny;
+  const simd::RotateRowsFn<Real> rot = simd::rotate_fn<Real>();
+  const simd::PhaseRowFn<Real> phase = simd::phase_fn<Real>();
   // One z-line per work unit: lines are disjoint, so both parities (and
   // the fused diagonal phase) stay inside one worker's tile.
   for_range<Parallel>(nlines, 1, [&](std::size_t l0, std::size_t l1) {
@@ -153,12 +140,12 @@ void fused_sweep_z(SoAWave<Real>& w, const BondCoef<Real>& c, bool with_diag,
       for (int parity = 0; parity < 2; ++parity) {
         for (std::size_t i = static_cast<std::size_t>(parity); i < g.nz; i += 2) {
           const std::size_t j = (i + 1) % g.nz;
-          rotate_rows(base + i * norb, base + j * norb, c, 0, norb);
+          rotate_rows(base + i * norb, base + j * norb, c, 0, norb, rot);
         }
       }
       if (with_diag)
         for (std::size_t i = 0; i < g.nz; ++i)
-          phase_row(base + i * norb, dpr, dpi, 0, norb);
+          phase(base + i * norb, dpr, dpi, norb);
     }
   });
 }
@@ -170,6 +157,7 @@ void fused_sweep_xy(SoAWave<Real>& w, int axis, const BondCoef<Real>& c) {
   const AxisGeom geo = axis_geom(w.grid, axis); // e2/s2 is the z index
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
+  const simd::RotateRowsFn<Real> rot = simd::rotate_fn<Real>();
   // Tile so that n * tile rows fit within ~1.5 MiB of L2.
   const std::size_t row_bytes = norb * sizeof(std::complex<Real>);
   std::size_t tile = (3u << 19) / std::max<std::size_t>(geo.n * row_bytes, 1);
@@ -191,7 +179,7 @@ void fused_sweep_xy(SoAWave<Real>& w, int axis, const BondCoef<Real>& c) {
           const std::size_t bv = j * geo.stride + i1 * geo.s1;
           for (std::size_t z = z0; z < z1; ++z)
             rotate_rows(psi + (bu + z * geo.s2) * norb,
-                        psi + (bv + z * geo.s2) * norb, c, 0, norb);
+                        psi + (bv + z * geo.s2) * norb, c, 0, norb, rot);
         }
       }
     }
@@ -208,15 +196,10 @@ void diag_phase_impl(SoAWave<Real>& w, double dt, std::size_t s0, std::size_t s1
   const Real pi = static_cast<Real>(-std::sin(dt * d));
   auto* psi = w.psi.data();
   const std::size_t ng = w.grid.size(), norb = w.norb;
+  const simd::PhaseRowFn<Real> phase = simd::phase_fn<Real>();
   for_range<Parallel>(ng, 256, [&](std::size_t g0, std::size_t g1) {
-    for (std::size_t g = g0; g < g1; ++g) {
-      auto* row = psi + g * norb;
-#pragma omp simd
-      for (std::size_t s = s0; s < s1; ++s) {
-        const Real r = row[s].real(), im = row[s].imag();
-        row[s] = {pr * r - pi * im, pr * im + pi * r};
-      }
-    }
+    for (std::size_t g = g0; g < g1; ++g)
+      phase(psi + g * norb + s0, pr, pi, s1 - s0);
   });
 }
 

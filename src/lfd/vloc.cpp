@@ -7,6 +7,7 @@
 
 #include "mlmd/common/flops.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/simd/simd.hpp"
 
 namespace mlmd::lfd {
 namespace {
@@ -108,18 +109,16 @@ void vloc_prop(SoAWave<Real>& w, const std::vector<double>& v, double dt) {
   flops::add((8ull * w.norb + 20ull) * w.grid.size());
   auto* psi = w.psi.data();
   const std::size_t norb = w.norb;
-  // Batched orbital update: each grid row (norb orbitals) is disjoint.
+  // Batched orbital update through the dispatched phase kernel
+  // (mlmd::simd, bit-identical across targets): each grid row (norb
+  // orbitals) is disjoint.
+  const simd::PhaseRowFn<Real> phase = simd::phase_fn<Real>();
   par::parallel_for(0, v.size(), 256, [&](std::size_t g0, std::size_t g1) {
     for (std::size_t g = g0; g < g1; ++g) {
       const double ang = -dt * v[g];
       const Real pr = static_cast<Real>(std::cos(ang));
       const Real pi = static_cast<Real>(std::sin(ang));
-      auto* row = psi + g * norb;
-#pragma omp simd
-      for (std::size_t s = 0; s < norb; ++s) {
-        const Real r = row[s].real(), im = row[s].imag();
-        row[s] = {pr * r - pi * im, pr * im + pi * r};
-      }
+      phase(psi + g * norb, pr, pi, norb);
     }
   });
 }

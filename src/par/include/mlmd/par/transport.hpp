@@ -27,6 +27,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mlmd/obs/metrics.hpp"
@@ -117,8 +118,20 @@ private:
 /// Selectable transport backends (--transport=inproc|shm).
 enum class TransportKind { kInproc, kShm };
 
-/// Parse a --transport value; throws std::invalid_argument (with the
-/// accepted spellings in the message) on anything else.
+/// (name, value) table for Cli::choice — the single source of the
+/// accepted --transport spellings: the canonical backend names plus the
+/// "what are ranks" aliases ("threads" for inproc, "procs" for shm).
+inline constexpr std::pair<const char*, TransportKind> kTransportChoices[] = {
+    {"inproc", TransportKind::kInproc},
+    {"shm", TransportKind::kShm},
+    {"threads", TransportKind::kInproc},
+    {"procs", TransportKind::kShm},
+};
+
+/// Parse a --transport value (kTransportChoices spellings); throws
+/// std::invalid_argument (with the accepted spellings in the message) on
+/// anything else. Used for the MLMD_TRANSPORT environment variable;
+/// command lines go through Cli::choice with kTransportChoices instead.
 TransportKind parse_transport(const std::string& name);
 const char* transport_name(TransportKind kind);
 

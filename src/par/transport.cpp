@@ -53,8 +53,8 @@ void Transport::account_wait_obs(double seconds) {
 }
 
 TransportKind parse_transport(const std::string& name) {
-  if (name == "inproc" || name == "threads") return TransportKind::kInproc;
-  if (name == "shm" || name == "procs") return TransportKind::kShm;
+  for (const auto& [spelling, kind] : kTransportChoices)
+    if (name == spelling) return kind;
   throw std::invalid_argument("unknown transport '" + name +
                               "' (expected inproc|shm)");
 }

@@ -1,0 +1,87 @@
+#include "mlmd/simd/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace mlmd::simd {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via xgetbv — raw asm so no -mxsave compile flag is needed in this
+/// (baseline-ISA) translation unit. Only called after cpuid reports
+/// OSXSAVE, so the instruction itself is always legal.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax, edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" /* xgetbv */
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+Caps probe() {
+  Caps c;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  const unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf < 1) return c;
+
+  __cpuid(1, eax, ebx, ecx, edx);
+  const bool osxsave = ecx & (1u << 27);
+  c.avx = ecx & (1u << 28);
+  c.fma = ecx & (1u << 12);
+
+  // The OS must save the register state or the ISA bits are unusable:
+  // XCR0[2:1] (xmm+ymm) for AVX, additionally XCR0[7:5] (opmask, zmm
+  // low/high) for AVX-512.
+  const std::uint64_t xcr0 = osxsave ? xgetbv0() : 0;
+  c.os_avx = (xcr0 & 0x6) == 0x6;
+  c.os_avx512 = (xcr0 & 0xe6) == 0xe6;
+
+  if (max_leaf >= 7) {
+    __cpuid_count(7, 0, eax, ebx, ecx, edx);
+    const unsigned max_subleaf = eax;
+    c.avx2 = ebx & (1u << 5);
+    c.avx512f = ebx & (1u << 16);
+    c.avx512bw = ebx & (1u << 30);
+    c.avx512vl = ebx & (1u << 31);
+    if (max_subleaf >= 1) {
+      __cpuid_count(7, 1, eax, ebx, ecx, edx);
+      c.avx512bf16 = eax & (1u << 5);
+    }
+  }
+
+  // Mask ISA bits the OS cannot honor so callers can test one bool.
+  if (!c.os_avx) c.avx = c.avx2 = c.fma = false;
+  if (!c.os_avx512)
+    c.avx512f = c.avx512bw = c.avx512vl = c.avx512bf16 = false;
+  return c;
+}
+
+#else  // non-x86: everything off, scalar-only dispatch.
+
+Caps probe() { return Caps{}; }
+
+#endif
+
+}  // namespace
+
+const Caps& caps() {
+  static const Caps c = probe();
+  return c;
+}
+
+std::vector<std::string> caps_strings() {
+  const Caps& c = caps();
+  std::vector<std::string> out;
+  if (c.avx) out.push_back("avx");
+  if (c.avx2) out.push_back("avx2");
+  if (c.fma) out.push_back("fma");
+  if (c.avx512f) out.push_back("avx512f");
+  if (c.avx512bw) out.push_back("avx512bw");
+  if (c.avx512vl) out.push_back("avx512vl");
+  if (c.avx512bf16) out.push_back("avx512_bf16");
+  return out;
+}
+
+}  // namespace mlmd::simd

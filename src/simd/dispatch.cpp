@@ -1,0 +1,202 @@
+#include <atomic>
+#include <cfloat>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "mlmd/simd/simd.hpp"
+#include "tables.hpp"
+
+namespace mlmd::simd {
+namespace {
+
+constexpr std::size_t kNumTargets = 3;
+
+const KernelTable* compiled_table(Target t) {
+  switch (t) {
+    case Target::kScalar: return detail::scalar_table();
+    case Target::kAvx2: return detail::avx2_table();
+    case Target::kAvx512: return detail::avx512_table();
+  }
+  return nullptr;
+}
+
+bool isa_ok(Target t) {
+  const Caps& c = caps();
+  switch (t) {
+    case Target::kScalar: return true;
+    case Target::kAvx2: return c.avx2 && c.os_avx;
+    case Target::kAvx512:
+      return c.avx512f && c.avx512bw && c.avx512vl && c.os_avx512;
+  }
+  return false;
+}
+
+std::string supported_list() {
+  std::string s;
+  for (Target t : supported_targets()) {
+    if (!s.empty()) s += ", ";
+    s += target_name(t);
+  }
+  return s;
+}
+
+/// Resolved dispatch state: value copies of the available compiled
+/// tables (the AVX-512 copy drops the bf16 slot when cpuid lacks
+/// AVX512-BF16) plus the active-table pointer.
+struct Dispatch {
+  KernelTable tables[kNumTargets];
+  bool avail[kNumTargets] = {};
+  std::atomic<const KernelTable*> active{nullptr};
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  // Separate flag so a throwing MLMD_SIMD resolve (unknown/unsupported
+  // value) propagates to the caller and is retried on the next call
+  // instead of leaving a half-initialized singleton.
+  static const bool init = [] {
+    for (std::size_t i = 0; i < kNumTargets; ++i) {
+      const Target t = static_cast<Target>(i);
+      const KernelTable* ct = compiled_table(t);
+      if (!ct || !isa_ok(t)) continue;
+      d.tables[i] = *ct;
+      if (t == Target::kAvx512 && !caps().avx512bf16)
+        d.tables[i].bf16_dot16 = nullptr;
+      d.avail[i] = true;
+    }
+    Target chosen = best_supported();
+    if (const char* e = std::getenv("MLMD_SIMD"); e && *e) {
+      const Target req = parse_target(e);  // throws on unknown names
+      if (!d.avail[static_cast<std::size_t>(req)])
+        throw std::runtime_error(
+            std::string("MLMD_SIMD=") + e +
+            " requested but this host/build supports only: " +
+            supported_list());
+      chosen = req;
+    }
+    d.active.store(&d.tables[static_cast<std::size_t>(chosen)],
+                   std::memory_order_release);
+    return true;
+  }();
+  (void)init;
+  return d;
+}
+
+}  // namespace
+
+bool target_supported(Target t) {
+  return compiled_table(t) != nullptr && isa_ok(t);
+}
+
+std::vector<Target> supported_targets() {
+  std::vector<Target> out;
+  for (std::size_t i = 0; i < kNumTargets; ++i)
+    if (target_supported(static_cast<Target>(i)))
+      out.push_back(static_cast<Target>(i));
+  return out;
+}
+
+Target best_supported() {
+  Target best = Target::kScalar;
+  for (std::size_t i = 0; i < kNumTargets; ++i)
+    if (target_supported(static_cast<Target>(i)))
+      best = static_cast<Target>(i);
+  return best;
+}
+
+Target parse_target(const std::string& name) {
+  if (name == "native") return best_supported();
+  for (const auto& [n, t] : kTargetChoices)
+    if (name == n) return t;
+  throw std::invalid_argument("unknown simd target '" + name +
+                              "' (expected scalar|avx2|avx512|native)");
+}
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kScalar: return "scalar";
+    case Target::kAvx2: return "avx2";
+    case Target::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Target active_target() {
+  return dispatch().active.load(std::memory_order_acquire)->target;
+}
+
+void set_target(Target t) {
+  Dispatch& d = dispatch();
+  if (!d.avail[static_cast<std::size_t>(t)])
+    throw std::runtime_error(
+        std::string("simd target '") + target_name(t) +
+        "' is not supported on this host/build (supported: " +
+        supported_list() + ")");
+  d.active.store(&d.tables[static_cast<std::size_t>(t)],
+                 std::memory_order_release);
+}
+
+const KernelTable& kernels() {
+  return *dispatch().active.load(std::memory_order_acquire);
+}
+
+// ---- BF16 pair-dot --------------------------------------------------------
+
+namespace {
+
+/// Widen one bf16 bit pattern to FP32 with the DAZ behavior AVX512-BF16
+/// instructions apply unconditionally: denormal inputs read as
+/// (sign-preserved) zero.
+inline float bf16_widen_daz(std::uint16_t x) {
+  std::uint32_t u = static_cast<std::uint32_t>(x) << 16;
+  if ((x & 0x7f80u) == 0) u &= 0x80000000u;  // exponent 0 -> +-0
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+/// FTZ: AVX512-BF16 flushes denormal FP32 results to (signed) zero.
+inline float ftz(float v) {
+  if (v != 0.0f && std::fabs(v) < FLT_MIN)
+    return std::signbit(v) ? -0.0f : 0.0f;
+  return v;
+}
+
+}  // namespace
+
+void bf16_dot16_scalar(std::size_t n, const std::uint16_t* a,
+                       const std::uint16_t* b, float acc[16]) {
+  // VDPBF16PS lane semantics, determined empirically against hardware
+  // and locked in by a bitwise test in test_simd: per 32-element block
+  // each lane j chains two adds, odd element first —
+  //   acc = (acc + a[2j+1]*b[2j+1]) + a[2j]*b[2j]
+  // with both products exact in FP32 (8-bit significands) and DAZ/FTZ
+  // applied unconditionally.
+  for (std::size_t i = 0; i < n; i += 32) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      const float p0 =
+          ftz(bf16_widen_daz(a[i + 2 * j]) * bf16_widen_daz(b[i + 2 * j]));
+      const float p1 = ftz(bf16_widen_daz(a[i + 2 * j + 1]) *
+                           bf16_widen_daz(b[i + 2 * j + 1]));
+      acc[j] = ftz(ftz(acc[j] + p1) + p0);
+    }
+  }
+}
+
+float bf16_dot(std::size_t n, const std::uint16_t* a,
+               const std::uint16_t* b) {
+  if (n % 32 != 0)
+    throw std::invalid_argument(
+        "bf16_dot: n must be a multiple of 32 (zero-pad the operands; "
+        "zero bf16 bits contribute exactly 0)");
+  alignas(64) float acc[16] = {};
+  const Bf16Dot16Fn fn = kernels().bf16_dot16;
+  (fn ? fn : &bf16_dot16_scalar)(n, a, b, acc);
+  float s = 0.0f;
+  for (int j = 0; j < 16; ++j) s += acc[j];
+  return s;
+}
+
+}  // namespace mlmd::simd

@@ -1,0 +1,213 @@
+#pragma once
+// mlmd::simd — runtime-dispatched SIMD micro-kernels (DESIGN.md Sec. 12).
+//
+// The packed-GEMM engine and the hot LFD inner loops (bond rotations,
+// phase multiplies) used to rely on `#pragma omp simd` and compiler luck
+// for vector scheduling. This module replaces that with hand-written
+// AVX2/AVX-512 register-tiled kernels behind a one-time-resolved
+// function-pointer table, selected by cpuid at startup:
+//
+//   * simd::caps()            cpuid-probed capability report (AVX2, FMA,
+//                             AVX-512F/BW/VL, AVX512-BF16, OS xsave state)
+//   * simd::active_target()   the resolved Target — best supported by
+//                             default, overridable with MLMD_SIMD=
+//                             scalar|avx2|avx512|native or --simd= in the
+//                             benches (A/B testing, sanitizer lanes)
+//   * simd::kernels()         the dispatch table for the active target
+//
+// Bit-identity contract: every kernel variant performs, per output
+// element, exactly the operation sequence of the scalar reference kernel
+// (separate IEEE multiply and add — never FMA-contracted, never
+// reassociated across the reduction dimension), so every dispatch target
+// produces byte-identical results to MLMD_SIMD=scalar. The intrinsic
+// translation units are compiled with -ffp-contract=off to make that a
+// build guarantee, not a hope; `ctest -L simd` asserts it. Consequently
+// the existing bit-exactness guarantees (batched-vs-scalar MLP,
+// checkpoint restore, cross-transport comm parity) survive unchanged
+// under any target.
+//
+// One binary carries all targets: the AVX2/AVX-512 kernels live in
+// translation units compiled with per-file -mavx2/-mavx512* flags, and no
+// intrinsic code path is reachable without a cpuid + OS-state approval,
+// so MLMD_SIMD=scalar runs on any x86-64 (and non-x86 builds degrade to
+// scalar-only automatically).
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlmd::simd {
+
+/// Dispatchable instruction-set targets, coarsest useful granularity:
+/// kAvx2 requires AVX2 (micro-kernels use no FMA, see bit-identity
+/// contract); kAvx512 requires AVX-512 F+BW+VL.
+enum class Target { kScalar, kAvx2, kAvx512 };
+
+/// (name, value) table for --simd= parsing via Cli::choice and for
+/// MLMD_SIMD=; "native" additionally resolves to best_supported().
+inline constexpr std::pair<const char*, Target> kTargetChoices[] = {
+    {"scalar", Target::kScalar},
+    {"avx2", Target::kAvx2},
+    {"avx512", Target::kAvx512},
+};
+
+/// cpuid-probed capability report. ISA bits come from cpuid leaves 1/7;
+/// the os_* bits confirm the OS actually saves the corresponding register
+/// state (XCR0 via xgetbv) — an ISA bit without its os_ bit is unusable.
+struct Caps {
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512bf16 = false;
+  bool os_avx = false;     ///< XCR0 xmm+ymm state enabled
+  bool os_avx512 = false;  ///< XCR0 opmask+zmm state enabled
+};
+
+/// The host's capability report (probed once, cached).
+const Caps& caps();
+
+/// Human-readable flag list for logs and the benchjson "machine" block,
+/// e.g. {"avx2", "fma", "avx512f", "avx512bw", "avx512vl", "avx512_bf16"}.
+std::vector<std::string> caps_strings();
+
+/// True when `t` is both compiled into this binary and approved by
+/// cpuid/xgetbv on this host. kScalar is always supported.
+bool target_supported(Target t);
+
+/// All supported targets, ascending (kScalar first). Never empty.
+std::vector<Target> supported_targets();
+
+/// The widest supported target.
+Target best_supported();
+
+/// Parse a target name ("scalar" | "avx2" | "avx512" | "native"); throws
+/// std::invalid_argument listing the valid values on anything else.
+/// "native" resolves to best_supported().
+Target parse_target(const std::string& name);
+
+const char* target_name(Target t);
+
+/// The resolved target: MLMD_SIMD if set (unsupported values throw
+/// std::runtime_error with a clear message), otherwise best_supported().
+Target active_target();
+
+/// Force a target (tests / --simd=). Throws std::runtime_error when the
+/// target is not supported on this host. Safe to call between kernel
+/// invocations; concurrent kernel calls each read the table exactly once.
+void set_target(Target t);
+
+// ---- dispatch table -------------------------------------------------------
+
+/// Upper bound on MR*NR over all targets and precisions: engine-side
+/// accumulator tiles are stack arrays of this many elements.
+inline constexpr std::size_t kMaxAccElems = 256;
+
+/// Real packed GEMM micro-kernel: acc[MR][NR] += sum_p a[p*MR+i]*b[p*NR+j]
+/// on zero-padded packed panels, each element reduced in ascending p with
+/// separate multiply and add (the scalar contract).
+template <class T>
+struct GemmUkern {
+  std::size_t mr = 0, nr = 0;
+  void (*fn)(std::size_t kc, const T* ap, const T* bp, T* acc) = nullptr;
+};
+
+/// Split-real complex micro-kernel on packed panels: a interleaved
+/// (re,im) per row with stride 2*MR, b de-interleaved per p (NR reals
+/// then NR imags), separate re/im accumulator planes.
+template <class R>
+struct CplxUkern {
+  std::size_t mr = 0, nr = 0;
+  void (*fn)(std::size_t kc, const R* ap, const R* bp, R* accr,
+             R* acci) = nullptr;
+};
+
+/// LFD bond rotation over n orbitals of rows u, v (kin_prop sweeps):
+///   u' = {cs*ur + ar*vr - ai*vi, cs*ui + ar*vi + ai*vr}
+///   v' = {cs*vr + br*ur - bi*ui, cs*vi + br*ui + bi*ur}
+template <class R>
+using RotateRowsFn = void (*)(std::complex<R>* u, std::complex<R>* v, R cs,
+                              R ar, R ai, R br, R bi, std::size_t n);
+
+/// Uniform complex phase multiply over n orbitals of one row (kin_prop
+/// diagonal phase, vloc stencil):
+///   x' = {pr*r - pi*im, pr*im + pi*r}
+template <class R>
+using PhaseRowFn = void (*)(std::complex<R>* row, R pr, R pi, std::size_t n);
+
+/// BF16 pair-dot kernel with VDPBF16PS lane semantics: consume bf16
+/// element pairs into 16 FP32 lane accumulators, lane j accumulating
+///   acc[j] += widen(a[32i+2j])*widen(b[32i+2j])
+///            + widen(a[32i+2j+1])*widen(b[32i+2j+1])
+/// (component products are exact in FP32 — 8-bit mantissas — so the only
+/// roundings are the pair sum and the accumulate, in that fixed order).
+/// n must be a multiple of 32; callers reduce the 16 lanes in ascending
+/// order. The scalar emulation reproduces this lane layout exactly, so
+/// hardware and emulation are bit-identical (asserted in test_simd).
+using Bf16Dot16Fn = void (*)(std::size_t n, const std::uint16_t* a,
+                             const std::uint16_t* b, float acc[16]);
+
+struct KernelTable {
+  Target target = Target::kScalar;
+  GemmUkern<float> sgemm;
+  GemmUkern<double> dgemm;
+  CplxUkern<float> cgemm;
+  CplxUkern<double> zgemm;
+  RotateRowsFn<float> rotate_f = nullptr;
+  RotateRowsFn<double> rotate_d = nullptr;
+  PhaseRowFn<float> phase_f = nullptr;
+  PhaseRowFn<double> phase_d = nullptr;
+  Bf16Dot16Fn bf16_dot16 = nullptr;  ///< null unless AVX512-BF16 usable
+};
+
+/// The kernel table of the active target (one relaxed atomic load).
+const KernelTable& kernels();
+
+/// Always-available scalar emulation of the BF16 pair-dot kernel
+/// (reference for test_simd and the fallback for bf16_dot()).
+void bf16_dot16_scalar(std::size_t n, const std::uint16_t* a,
+                       const std::uint16_t* b, float acc[16]);
+
+/// Full BF16 dot product with the pair-dot kernel contract: n padded by
+/// the caller to a multiple of 32 (zero bf16 bits contribute exactly 0),
+/// lanes reduced in ascending order. Uses VDPBF16PS when the active
+/// target provides it, the scalar emulation otherwise — bit-identical
+/// either way.
+float bf16_dot(std::size_t n, const std::uint16_t* a, const std::uint16_t* b);
+
+// Typed accessors so templated kernels pick their slot without
+// specializing on the table layout.
+template <class T>
+inline GemmUkern<T> gemm_ukern();
+template <>
+inline GemmUkern<float> gemm_ukern<float>() { return kernels().sgemm; }
+template <>
+inline GemmUkern<double> gemm_ukern<double>() { return kernels().dgemm; }
+
+template <class R>
+inline CplxUkern<R> cplx_ukern();
+template <>
+inline CplxUkern<float> cplx_ukern<float>() { return kernels().cgemm; }
+template <>
+inline CplxUkern<double> cplx_ukern<double>() { return kernels().zgemm; }
+
+template <class R>
+inline RotateRowsFn<R> rotate_fn();
+template <>
+inline RotateRowsFn<float> rotate_fn<float>() { return kernels().rotate_f; }
+template <>
+inline RotateRowsFn<double> rotate_fn<double>() { return kernels().rotate_d; }
+
+template <class R>
+inline PhaseRowFn<R> phase_fn();
+template <>
+inline PhaseRowFn<float> phase_fn<float>() { return kernels().phase_f; }
+template <>
+inline PhaseRowFn<double> phase_fn<double>() { return kernels().phase_d; }
+
+}  // namespace mlmd::simd

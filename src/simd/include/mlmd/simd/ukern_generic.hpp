@@ -1,0 +1,87 @@
+#pragma once
+// Generic (ISA-agnostic) reference kernels. These templates define the
+// bit-identity contract: every intrinsic variant in kernels_avx2.cpp /
+// kernels_avx512.cpp must reproduce, per output element, exactly this
+// operation sequence (separate IEEE multiply and add, ascending reduction
+// index, single accumulator per element). The scalar dispatch table is
+// built from instantiations of these templates; test_simd sweeps every
+// other target against them bytewise.
+//
+// The `#pragma omp simd` hints vectorize only the contiguous j/s
+// direction — per-element op order is unaffected (no reduction
+// reassociation), so auto-vectorization of this file cannot change
+// results.
+
+#include <complex>
+#include <cstddef>
+
+namespace mlmd::simd::generic {
+
+/// acc[MR][NR] += sum_p a[p*MR + i] * b[p*NR + j]  (a, b packed,
+/// zero-padded). Each element: t = a*b; acc = acc + t, ascending p.
+template <class T, std::size_t MR, std::size_t NR>
+void ukern_real(std::size_t kc, const T* __restrict__ ap,
+                const T* __restrict__ bp, T* __restrict__ acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const T* a = ap + p * MR;
+    const T* b = bp + p * NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const T av = a[i];
+      T* c = acc + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+/// Complex micro-kernel on split-real packed panels: a interleaved
+/// (re,im) per row with stride 2*MR, b de-interleaved per p (NR reals
+/// then NR imags), separate re/im accumulator planes. The manual
+/// expansion matches the `cr += ar*xr - ai*xi` form (std::complex
+/// operator* would route through the scalar, NaN-correct __mulsc3).
+template <class R, std::size_t MR, std::size_t NR>
+void ukern_cplx(std::size_t kc, const R* __restrict__ ap,
+                const R* __restrict__ bp, R* __restrict__ accr,
+                R* __restrict__ acci) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const R* a = ap + p * 2 * MR;
+    const R* br = bp + p * 2 * NR;
+    const R* bi = br + NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const R ar = a[2 * i], ai = a[2 * i + 1];
+      R* cr = accr + i * NR;
+      R* ci = acci + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) {
+        cr[j] += ar * br[j] - ai * bi[j];
+        ci[j] += ar * bi[j] + ai * br[j];
+      }
+    }
+  }
+}
+
+/// LFD bond rotation over n orbitals of rows u, v (kin_prop sweeps).
+template <class R>
+void rotate_rows(std::complex<R>* __restrict__ u,
+                 std::complex<R>* __restrict__ v, R cs, R ar, R ai, R br,
+                 R bi, std::size_t n) {
+#pragma omp simd
+  for (std::size_t s = 0; s < n; ++s) {
+    const R ur = u[s].real(), ui = u[s].imag();
+    const R vr = v[s].real(), vi = v[s].imag();
+    u[s] = {cs * ur + ar * vr - ai * vi, cs * ui + ar * vi + ai * vr};
+    v[s] = {cs * vr + br * ur - bi * ui, cs * vi + br * ui + bi * ur};
+  }
+}
+
+/// Uniform complex phase multiply over n orbitals of one row.
+template <class R>
+void phase_row(std::complex<R>* __restrict__ row, R pr, R pi, std::size_t n) {
+#pragma omp simd
+  for (std::size_t s = 0; s < n; ++s) {
+    const R r = row[s].real(), im = row[s].imag();
+    row[s] = {pr * r - pi * im, pr * im + pi * r};
+  }
+}
+
+}  // namespace mlmd::simd::generic

@@ -1,0 +1,34 @@
+// Scalar dispatch table: instantiations of the generic reference kernels
+// at the seed tile shapes (sized to the 16-register baseline ISA). This
+// file is compiled with -ffp-contract=off so that even a build with
+// global FMA-capable flags (-march=native in CMAKE_CXX_FLAGS) cannot
+// contract mul+add here — the scalar table is the reference every other
+// target is byte-compared against.
+
+#include "mlmd/simd/simd.hpp"
+#include "mlmd/simd/ukern_generic.hpp"
+#include "tables.hpp"
+
+namespace mlmd::simd::detail {
+namespace {
+
+// Seed register-tile shapes (DESIGN.md §8): float 4x16, double 4x8,
+// complex 2x8 for both precisions.
+const KernelTable kScalarTable = {
+    Target::kScalar,
+    {4, 16, &generic::ukern_real<float, 4, 16>},
+    {4, 8, &generic::ukern_real<double, 4, 8>},
+    {2, 8, &generic::ukern_cplx<float, 2, 8>},
+    {2, 8, &generic::ukern_cplx<double, 2, 8>},
+    &generic::rotate_rows<float>,
+    &generic::rotate_rows<double>,
+    &generic::phase_row<float>,
+    &generic::phase_row<double>,
+    nullptr,  // bf16_dot16: scalar emulation is routed by bf16_dot()
+};
+
+}  // namespace
+
+const KernelTable* scalar_table() { return &kScalarTable; }
+
+}  // namespace mlmd::simd::detail

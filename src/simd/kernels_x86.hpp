@@ -1,0 +1,181 @@
+#pragma once
+// Internal: register-tiled kernel templates shared by the AVX2 and
+// AVX-512 translation units. Each TU instantiates them over its own
+// vector-traits structs (V256f/V512d/...), so the same tiling logic
+// compiles once per ISA under that file's -m<isa> flags.
+//
+// Bit-identity with the scalar reference (ukern_generic.hpp) rests on
+// two IEEE-754 facts used throughout:
+//   * x - y  ==  x + (-y)   bitwise, and
+//   * (-a)*b == -(a*b)      bitwise (sign is an xor),
+// so a subtraction in the scalar op sequence is realized as an addition
+// of a product with a sign-negated coefficient — which is what lets the
+// interleaved complex updates (rotate/phase) run as two multiplies of a
+// sign-alternating coefficient vector against the value vector and its
+// pair-swapped permutation. Multiplies and adds are always separate
+// intrinsics; these TUs are compiled with -ffp-contract=off so the
+// compiler cannot fuse them into FMAs behind our back.
+//
+// The `unroll<N>` helper expands loops at template-instantiation time:
+// every index into the register-tile arrays below is a compile-time
+// constant, so the arrays decay to individual vector registers.
+
+#include <complex>
+#include <cstddef>
+#include <utility>
+
+namespace mlmd::simd::detail {
+
+template <int N, class F>
+inline void unroll(F&& f) {
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    (f(std::integral_constant<int, static_cast<int>(I)>{}), ...);
+  }(std::make_index_sequence<N>{});
+}
+
+/// Real micro-kernel, MR rows x NV vectors of V::width columns.
+/// acc rows are V-aligned (the engine over-aligns its accumulator
+/// block); packed-B per-p strides are 64-byte multiples by construction
+/// (gemm.cpp), so V::load doubles as a live alignment assertion.
+template <class V, int MR, int NV>
+void ukern_real_vec(std::size_t kc,
+                    const typename V::scalar* __restrict__ ap,
+                    const typename V::scalar* __restrict__ bp,
+                    typename V::scalar* __restrict__ acc) {
+  using reg = typename V::reg;
+  constexpr std::size_t W = V::width;
+  constexpr std::size_t NR = NV * W;
+  reg c[MR][NV];
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto v) { c[i][v] = V::load(acc + i * NR + v * W); });
+  });
+  for (std::size_t p = 0; p < kc; ++p) {
+    reg b[NV];
+    unroll<NV>([&](auto v) { b[v] = V::load(bp + p * NR + v * W); });
+    unroll<MR>([&](auto i) {
+      const reg a = V::bcast(ap + p * MR + i);
+      unroll<NV>([&](auto v) {
+        c[i][v] = V::add(c[i][v], V::mul(a, b[v]));
+      });
+    });
+  }
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto v) { V::store(acc + i * NR + v * W, c[i][v]); });
+  });
+}
+
+/// Split-real complex micro-kernel (packed layouts as in
+/// generic::ukern_cplx). Per element and ascending p:
+///   cr = cr + ((ar*br) - (ai*bi)),  ci = ci + ((ar*bi) + (ai*br))
+/// — the exact scalar sequence.
+template <class V, int MR, int NV>
+void ukern_cplx_vec(std::size_t kc,
+                    const typename V::scalar* __restrict__ ap,
+                    const typename V::scalar* __restrict__ bp,
+                    typename V::scalar* __restrict__ accr,
+                    typename V::scalar* __restrict__ acci) {
+  using reg = typename V::reg;
+  constexpr std::size_t W = V::width;
+  constexpr std::size_t NR = NV * W;
+  reg cr[MR][NV], ci[MR][NV];
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto v) {
+      cr[i][v] = V::load(accr + i * NR + v * W);
+      ci[i][v] = V::load(acci + i * NR + v * W);
+    });
+  });
+  for (std::size_t p = 0; p < kc; ++p) {
+    reg br[NV], bi[NV];
+    unroll<NV>([&](auto v) {
+      br[v] = V::load(bp + p * 2 * NR + v * W);
+      bi[v] = V::load(bp + p * 2 * NR + NR + v * W);
+    });
+    unroll<MR>([&](auto i) {
+      const reg ar = V::bcast(ap + p * 2 * MR + 2 * i);
+      const reg ai = V::bcast(ap + p * 2 * MR + 2 * i + 1);
+      unroll<NV>([&](auto v) {
+        cr[i][v] = V::add(cr[i][v],
+                          V::sub(V::mul(ar, br[v]), V::mul(ai, bi[v])));
+        ci[i][v] = V::add(ci[i][v],
+                          V::add(V::mul(ar, bi[v]), V::mul(ai, br[v])));
+      });
+    });
+  }
+  unroll<MR>([&](auto i) {
+    unroll<NV>([&](auto v) {
+      V::store(accr + i * NR + v * W, cr[i][v]);
+      V::store(acci + i * NR + v * W, ci[i][v]);
+    });
+  });
+}
+
+/// LFD bond rotation on interleaved complex rows. Lane layout: even
+/// lanes carry reals, odd lanes imags; V::alt(x) builds {-x,+x,-x,+x,...}
+/// and V::swap_pairs exchanges each (re,im) lane pair, so
+///   u' = (cs*U + ar*V) + alt(ai)*swap(V)
+/// reproduces per lane
+///   re: ((cs*ur)+(ar*vr)) + (-(ai*vi))  ==  cs*ur + ar*vr - ai*vi
+///   im: ((cs*ui)+(ar*vi)) + (ai*vr)
+/// — the scalar sequence, bitwise. Rows live at arbitrary offsets in the
+/// wavefunction array, hence unaligned loads; the scalar tail (compiled
+/// with -ffp-contract=off) finishes odd remainders in the same order.
+template <class V>
+void rotate_rows_vec(std::complex<typename V::scalar>* __restrict__ u,
+                     std::complex<typename V::scalar>* __restrict__ v,
+                     typename V::scalar cs, typename V::scalar ar,
+                     typename V::scalar ai, typename V::scalar br,
+                     typename V::scalar bi, std::size_t n) {
+  using R = typename V::scalar;
+  using reg = typename V::reg;
+  R* ur = reinterpret_cast<R*>(u);
+  R* vr = reinterpret_cast<R*>(v);
+  const std::size_t nn = 2 * n;
+  const reg csv = V::set1(cs);
+  const reg arv = V::set1(ar), aiv = V::alt(ai);
+  const reg brv = V::set1(br), biv = V::alt(bi);
+  std::size_t s = 0;
+  for (; s + V::width <= nn; s += V::width) {
+    const reg uu = V::loadu(ur + s);
+    const reg vv = V::loadu(vr + s);
+    const reg nu = V::add(V::add(V::mul(csv, uu), V::mul(arv, vv)),
+                          V::mul(aiv, V::swap_pairs(vv)));
+    const reg nv = V::add(V::add(V::mul(csv, vv), V::mul(brv, uu)),
+                          V::mul(biv, V::swap_pairs(uu)));
+    V::storeu(ur + s, nu);
+    V::storeu(vr + s, nv);
+  }
+  for (; s < nn; s += 2) {
+    const R xr = ur[s], xi = ur[s + 1];
+    const R yr = vr[s], yi = vr[s + 1];
+    ur[s] = cs * xr + ar * yr - ai * yi;
+    ur[s + 1] = cs * xi + ar * yi + ai * yr;
+    vr[s] = cs * yr + br * xr - bi * xi;
+    vr[s + 1] = cs * yi + br * xi + bi * xr;
+  }
+}
+
+/// Uniform phase multiply on one interleaved complex row:
+///   x' = pr*X + alt(pi)*swap(X)
+/// per lane: re: (pr*r) + (-(pi*im)); im: (pr*im) + (pi*r).
+template <class V>
+void phase_row_vec(std::complex<typename V::scalar>* __restrict__ row,
+                   typename V::scalar pr, typename V::scalar pi,
+                   std::size_t n) {
+  using R = typename V::scalar;
+  using reg = typename V::reg;
+  R* x = reinterpret_cast<R*>(row);
+  const std::size_t nn = 2 * n;
+  const reg prv = V::set1(pr), piv = V::alt(pi);
+  std::size_t s = 0;
+  for (; s + V::width <= nn; s += V::width) {
+    const reg r = V::loadu(x + s);
+    V::storeu(x + s, V::add(V::mul(prv, r), V::mul(piv, V::swap_pairs(r))));
+  }
+  for (; s < nn; s += 2) {
+    const R r = x[s], im = x[s + 1];
+    x[s] = pr * r - pi * im;
+    x[s + 1] = pr * im + pi * r;
+  }
+}
+
+}  // namespace mlmd::simd::detail

@@ -1,0 +1,16 @@
+#pragma once
+// Internal: per-ISA kernel tables, one per translation unit so each can
+// carry its own -m<isa> compile flags. A table function returns nullptr
+// when its ISA was not compiled in (compiler too old for the flags, or a
+// non-x86 build) — dispatch.cpp then treats the target as unavailable,
+// exactly like a cpuid rejection.
+
+#include "mlmd/simd/simd.hpp"
+
+namespace mlmd::simd::detail {
+
+const KernelTable* scalar_table();  // never nullptr
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+
+}  // namespace mlmd::simd::detail

@@ -1,0 +1,58 @@
+#pragma once
+// Shared gtest plumbing for sweeping a test body over every mlmd::simd
+// dispatch target (DESIGN.md Sec. 12). Tests instantiate over ALL targets
+// and skip-with-note the ones this host/build cannot run, so the ctest
+// log always shows which ISAs were actually exercised.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mlmd/simd/simd.hpp"
+
+namespace mlmd::testing {
+
+inline constexpr simd::Target kAllSimdTargets[] = {
+    simd::Target::kScalar, simd::Target::kAvx2, simd::Target::kAvx512};
+
+/// Param-name generator: "scalar" / "avx2" / "avx512".
+struct SimdTargetName {
+  template <class ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return simd::target_name(info.param);
+  }
+};
+
+/// Fixture base: activates the param target for the test body (skipping
+/// when the host or build lacks it) and restores the previous target on
+/// teardown so test order cannot leak a narrow ISA into later suites.
+class SimdTargetTest : public ::testing::TestWithParam<simd::Target> {
+protected:
+  void SetUp() override {
+    prev_ = simd::active_target();
+    if (!simd::target_supported(GetParam()))
+      GTEST_SKIP() << "simd target '" << simd::target_name(GetParam())
+                   << "' not supported on this host/build";
+    simd::set_target(GetParam());
+  }
+  void TearDown() override { simd::set_target(prev_); }
+
+private:
+  simd::Target prev_ = simd::Target::kScalar;
+};
+
+/// RAII target switch for tests that iterate supported_targets() inline.
+class ScopedSimdTarget {
+public:
+  explicit ScopedSimdTarget(simd::Target t) : prev_(simd::active_target()) {
+    simd::set_target(t);
+  }
+  ~ScopedSimdTarget() { simd::set_target(prev_); }
+  ScopedSimdTarget(const ScopedSimdTarget&) = delete;
+  ScopedSimdTarget& operator=(const ScopedSimdTarget&) = delete;
+
+private:
+  simd::Target prev_;
+};
+
+} // namespace mlmd::testing

@@ -7,6 +7,7 @@
 #include <complex>
 #include <tuple>
 
+#include "mlmd/common/aligned.hpp"
 #include "mlmd/common/flops.hpp"
 #include "mlmd/common/rng.hpp"
 #include "mlmd/common/workspace.hpp"
@@ -15,6 +16,8 @@
 #include "mlmd/la/matrix.hpp"
 #include "mlmd/la/ortho.hpp"
 #include "mlmd/par/thread_pool.hpp"
+#include "mlmd/simd/simd.hpp"
+#include "simd_targets.hpp"
 
 namespace {
 
@@ -65,16 +68,35 @@ Matrix<T> ref_gemm(Trans ta, Trans tb, T alpha, const Matrix<T>& a,
 }
 
 // ---- parameterized GEMM sweep over shapes and trans combinations --------
+//
+// Every case runs once per simd dispatch target (scalar plus whichever
+// intrinsic ISAs this host supports), so the shape/trans edge paths are
+// exercised against each micro-kernel tile geometry.
 
 struct GemmCase {
   std::size_t m, n, k;
   Trans ta, tb;
 };
 
-class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<GemmCase, mlmd::simd::Target>> {
+protected:
+  void SetUp() override {
+    prev_ = mlmd::simd::active_target();
+    const auto t = std::get<1>(GetParam());
+    if (!mlmd::simd::target_supported(t))
+      GTEST_SKIP() << "simd target '" << mlmd::simd::target_name(t)
+                   << "' not supported on this host/build";
+    mlmd::simd::set_target(t);
+  }
+  void TearDown() override { mlmd::simd::set_target(prev_); }
+
+private:
+  mlmd::simd::Target prev_ = mlmd::simd::Target::kScalar;
+};
 
 TEST_P(GemmSweep, ComplexDoubleMatchesReference) {
-  const auto& p = GetParam();
+  const auto& p = std::get<0>(GetParam());
   mlmd::Rng rng(17);
   Matrix<cd> a(p.ta == Trans::kN ? p.m : p.k, p.ta == Trans::kN ? p.k : p.m);
   Matrix<cd> b(p.tb == Trans::kN ? p.k : p.n, p.tb == Trans::kN ? p.n : p.k);
@@ -89,7 +111,7 @@ TEST_P(GemmSweep, ComplexDoubleMatchesReference) {
 }
 
 TEST_P(GemmSweep, RealDoubleMatchesReference) {
-  const auto& p = GetParam();
+  const auto& p = std::get<0>(GetParam());
   if (p.ta == Trans::kC || p.tb == Trans::kC) GTEST_SKIP() << "conj == T for real";
   mlmd::Rng rng(18);
   Matrix<double> a(p.ta == Trans::kN ? p.m : p.k, p.ta == Trans::kN ? p.k : p.m);
@@ -105,18 +127,24 @@ TEST_P(GemmSweep, RealDoubleMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, GemmSweep,
-    ::testing::Values(GemmCase{1, 1, 1, Trans::kN, Trans::kN},
-                      GemmCase{4, 4, 4, Trans::kN, Trans::kN},
-                      GemmCase{5, 3, 7, Trans::kN, Trans::kN},
-                      GemmCase{5, 3, 7, Trans::kT, Trans::kN},
-                      GemmCase{5, 3, 7, Trans::kN, Trans::kT},
-                      GemmCase{5, 3, 7, Trans::kC, Trans::kN},
-                      GemmCase{5, 3, 7, Trans::kN, Trans::kC},
-                      GemmCase{5, 3, 7, Trans::kC, Trans::kC},
-                      GemmCase{64, 64, 64, Trans::kN, Trans::kN},
-                      GemmCase{64, 64, 64, Trans::kC, Trans::kN},
-                      GemmCase{130, 70, 129, Trans::kN, Trans::kN},
-                      GemmCase{33, 65, 200, Trans::kC, Trans::kT}));
+    ::testing::Combine(
+        ::testing::Values(GemmCase{1, 1, 1, Trans::kN, Trans::kN},
+                          GemmCase{4, 4, 4, Trans::kN, Trans::kN},
+                          GemmCase{5, 3, 7, Trans::kN, Trans::kN},
+                          GemmCase{5, 3, 7, Trans::kT, Trans::kN},
+                          GemmCase{5, 3, 7, Trans::kN, Trans::kT},
+                          GemmCase{5, 3, 7, Trans::kC, Trans::kN},
+                          GemmCase{5, 3, 7, Trans::kN, Trans::kC},
+                          GemmCase{5, 3, 7, Trans::kC, Trans::kC},
+                          GemmCase{64, 64, 64, Trans::kN, Trans::kN},
+                          GemmCase{64, 64, 64, Trans::kC, Trans::kN},
+                          GemmCase{130, 70, 129, Trans::kN, Trans::kN},
+                          GemmCase{33, 65, 200, Trans::kC, Trans::kT}),
+        ::testing::ValuesIn(mlmd::testing::kAllSimdTargets)),
+    [](const auto& info) {
+      return "case" + std::to_string(info.index) + "_" +
+             mlmd::simd::target_name(std::get<1>(info.param));
+    });
 
 // ---- exhaustive engine validation ----------------------------------------
 //
@@ -154,21 +182,27 @@ void exhaustive_shape_sweep(T alpha, T beta, double tol_scale) {
           }
 }
 
-TEST(GemmExhaustive, ShapeSweepDouble) {
+class GemmExhaustive : public mlmd::testing::SimdTargetTest {};
+
+TEST_P(GemmExhaustive, ShapeSweepDouble) {
   exhaustive_shape_sweep<double>(1.7, -0.6, 1e-10);
 }
 
-TEST(GemmExhaustive, ShapeSweepComplexDouble) {
+TEST_P(GemmExhaustive, ShapeSweepComplexDouble) {
   exhaustive_shape_sweep<cd>(cd(1.3, -0.4), cd(0.5, 0.2), 1e-10);
 }
 
-TEST(GemmExhaustive, ShapeSweepFloat) {
+TEST_P(GemmExhaustive, ShapeSweepFloat) {
   exhaustive_shape_sweep<float>(1.7f, -0.6f, 2e-4);
 }
 
-TEST(GemmExhaustive, ShapeSweepComplexFloat) {
+TEST_P(GemmExhaustive, ShapeSweepComplexFloat) {
   exhaustive_shape_sweep<cf>(cf(1.3f, -0.4f), cf(0.5f, 0.2f), 4e-4);
 }
+
+INSTANTIATE_TEST_SUITE_P(Targets, GemmExhaustive,
+                         ::testing::ValuesIn(mlmd::testing::kAllSimdTargets),
+                         mlmd::testing::SimdTargetName{});
 
 // alpha/beta cross-product (incl. the alpha == 0 and beta == 0 special
 // paths, which must still apply beta / overwrite C) on a shape subset
@@ -211,15 +245,23 @@ void alpha_beta_sweep(double tol_scale) {
         }
 }
 
-TEST(GemmAlphaBeta, Double) { alpha_beta_sweep<double>(1e-10); }
-TEST(GemmAlphaBeta, ComplexDouble) { alpha_beta_sweep<cd>(1e-10); }
-TEST(GemmAlphaBeta, Float) { alpha_beta_sweep<float>(2e-4); }
-TEST(GemmAlphaBeta, ComplexFloat) { alpha_beta_sweep<cf>(4e-4); }
+class GemmAlphaBeta : public mlmd::testing::SimdTargetTest {};
+
+TEST_P(GemmAlphaBeta, Double) { alpha_beta_sweep<double>(1e-10); }
+TEST_P(GemmAlphaBeta, ComplexDouble) { alpha_beta_sweep<cd>(1e-10); }
+TEST_P(GemmAlphaBeta, Float) { alpha_beta_sweep<float>(2e-4); }
+TEST_P(GemmAlphaBeta, ComplexFloat) { alpha_beta_sweep<cf>(4e-4); }
+
+INSTANTIATE_TEST_SUITE_P(Targets, GemmAlphaBeta,
+                         ::testing::ValuesIn(mlmd::testing::kAllSimdTargets),
+                         mlmd::testing::SimdTargetName{});
 
 // Determinism contract (gemm.hpp): results are bit-identical for any
 // thread count, because tile decomposition and accumulation order depend
-// only on shapes.
-TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
+// only on shapes — independently of which micro-kernel ISA is active.
+class GemmDeterminism : public mlmd::testing::SimdTargetTest {};
+
+TEST_P(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
   const int nthr0 = mlmd::par::num_threads();
   mlmd::Rng rng(47);
   Matrix<double> a(65, 129), b(129, 65), c0(65, 65);
@@ -250,6 +292,55 @@ TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
     }
   }
   mlmd::par::ThreadPool::set_global_threads(nthr0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, GemmDeterminism,
+                         ::testing::ValuesIn(mlmd::testing::kAllSimdTargets),
+                         mlmd::testing::SimdTargetName{});
+
+// ---- 64-byte alignment contract (aligned.hpp) ---------------------------
+//
+// The dispatched micro-kernels use *aligned* vector loads on packed B
+// panels and accumulator tiles; these tests pin the allocation-side
+// guarantees instead of trusting them.
+
+TEST(Alignment, WorkspaceScratchIs64ByteAligned) {
+  auto& ws = mlmd::common::Workspace::local();
+  mlmd::common::Workspace::Frame frame(ws);
+  // Odd element counts are the interesting case: every subsequent get<>()
+  // must still land on a 64 B boundary because raw() rounds sizes up.
+  for (std::size_t n : {1u, 3u, 7u, 63u, 65u, 1000u}) {
+    EXPECT_TRUE(mlmd::is_aligned(ws.get<char>(n))) << "n=" << n;
+    EXPECT_TRUE(mlmd::is_aligned(ws.get<double>(n))) << "n=" << n;
+    EXPECT_TRUE(mlmd::is_aligned(ws.get<cf>(n))) << "n=" << n;
+  }
+}
+
+TEST(Alignment, MatrixStorageIs64ByteAligned) {
+  Matrix<double> d(7, 13);
+  Matrix<cf> z(5, 3);
+  EXPECT_TRUE(mlmd::is_aligned(d.data()));
+  EXPECT_TRUE(mlmd::is_aligned(z.data()));
+}
+
+TEST(Alignment, PackedPanelStridesAre64ByteMultiples) {
+  // For every supported target: the per-k-step packed-B row is
+  // NR * (reals per coefficient) * sizeof(real) bytes, and must be a
+  // multiple of 64 so each k step's aligned B loads are legal; the
+  // register tile must fit the dispatch-independent accumulator bound.
+  for (auto t : mlmd::simd::supported_targets()) {
+    mlmd::testing::ScopedSimdTarget guard(t);
+    const auto& kt = mlmd::simd::kernels();
+    EXPECT_EQ(kt.target, t);
+    EXPECT_EQ(kt.sgemm.nr * sizeof(float) % mlmd::kSimdAlign, 0u);
+    EXPECT_EQ(kt.dgemm.nr * sizeof(double) % mlmd::kSimdAlign, 0u);
+    EXPECT_EQ(kt.cgemm.nr * 2 * sizeof(float) % mlmd::kSimdAlign, 0u);
+    EXPECT_EQ(kt.zgemm.nr * 2 * sizeof(double) % mlmd::kSimdAlign, 0u);
+    EXPECT_LE(kt.sgemm.mr * kt.sgemm.nr, mlmd::simd::kMaxAccElems);
+    EXPECT_LE(kt.dgemm.mr * kt.dgemm.nr, mlmd::simd::kMaxAccElems);
+    EXPECT_LE(kt.cgemm.mr * kt.cgemm.nr, mlmd::simd::kMaxAccElems);
+    EXPECT_LE(kt.zgemm.mr * kt.zgemm.nr, mlmd::simd::kMaxAccElems);
+  }
 }
 
 // Steady state is allocation-free: after a warm-up call, repeated gemms

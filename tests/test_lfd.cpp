@@ -7,6 +7,8 @@
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <string>
+#include <tuple>
 
 #include "mlmd/la/matrix.hpp"
 #include "mlmd/lfd/density.hpp"
@@ -17,6 +19,8 @@
 #include "mlmd/lfd/nlp_prop.hpp"
 #include "mlmd/lfd/vloc.hpp"
 #include "mlmd/lfd/wavefunction.hpp"
+#include "mlmd/simd/simd.hpp"
+#include "simd_targets.hpp"
 
 namespace {
 
@@ -67,8 +71,28 @@ TEST(Wavefunction, PrecisionConversion) {
 }
 
 // --- kin_prop ---------------------------------------------------------------
+//
+// Each variant runs under every simd dispatch target (unsupported ISAs
+// skip), so the rotate/phase stencil kernels are validated per ISA, not
+// just for whichever target the host resolves by default.
 
-class KinVariantSweep : public ::testing::TestWithParam<KinVariant> {};
+class KinVariantSweep
+    : public ::testing::TestWithParam<std::tuple<KinVariant, mlmd::simd::Target>> {
+protected:
+  void SetUp() override {
+    prev_ = mlmd::simd::active_target();
+    const auto t = std::get<1>(GetParam());
+    if (!mlmd::simd::target_supported(t))
+      GTEST_SKIP() << "simd target '" << mlmd::simd::target_name(t)
+                   << "' not supported on this host/build";
+    mlmd::simd::set_target(t);
+  }
+  void TearDown() override { mlmd::simd::set_target(prev_); }
+  KinVariant variant() const { return std::get<0>(GetParam()); }
+
+private:
+  mlmd::simd::Target prev_ = mlmd::simd::Target::kScalar;
+};
 
 TEST_P(KinVariantSweep, ExactlyUnitary) {
   SoAWave<double> w(small_grid(), 4);
@@ -76,7 +100,7 @@ TEST_P(KinVariantSweep, ExactlyUnitary) {
   KinParams p;
   p.dt = 0.05;
   p.a[0] = 0.3; // vector potential on: Peierls phases exercised
-  for (int i = 0; i < 20; ++i) kin_prop(w, p, GetParam());
+  for (int i = 0; i < 20; ++i) kin_prop(w, p, variant());
   EXPECT_LT(max_norm_deviation(w), 1e-10);
 }
 
@@ -88,14 +112,20 @@ TEST_P(KinVariantSweep, AgreesWithBaseline) {
   p.dt = 0.03;
   p.a[1] = 0.2;
   kin_prop(w_ref, p, KinVariant::kBaseline);
-  kin_prop(w, p, GetParam());
+  kin_prop(w, p, variant());
   EXPECT_LT(la::max_abs_diff(w.psi, w_ref.psi), 1e-12);
 }
 
-INSTANTIATE_TEST_SUITE_P(Variants, KinVariantSweep,
-                         ::testing::Values(KinVariant::kReordered,
-                                           KinVariant::kBlocked,
-                                           KinVariant::kParallel));
+INSTANTIATE_TEST_SUITE_P(
+    Variants, KinVariantSweep,
+    ::testing::Combine(::testing::Values(KinVariant::kReordered,
+                                         KinVariant::kBlocked,
+                                         KinVariant::kParallel),
+                       ::testing::ValuesIn(mlmd::testing::kAllSimdTargets)),
+    [](const auto& info) {
+      return "variant" + std::to_string(info.index) + "_" +
+             mlmd::simd::target_name(std::get<1>(info.param));
+    });
 
 TEST(KinProp, OddGridThrows) {
   grid::Grid3 g{7, 8, 8, 0.5, 0.5, 0.5};
@@ -187,7 +217,9 @@ TEST(KinProp, FloatVariantTracksDouble) {
 
 // --- vloc -------------------------------------------------------------------
 
-TEST(Vloc, PhaseIsExactlyUnitary) {
+class VlocTargets : public mlmd::testing::SimdTargetTest {};
+
+TEST_P(VlocTargets, PhaseIsExactlyUnitary) {
   SoAWave<double> w(small_grid(), 3);
   init_plane_waves(w);
   std::vector<double> v(w.grid.size());
@@ -196,7 +228,7 @@ TEST(Vloc, PhaseIsExactlyUnitary) {
   EXPECT_LT(max_norm_deviation(w), 1e-12);
 }
 
-TEST(Vloc, ConstantPotentialGlobalPhase) {
+TEST_P(VlocTargets, ConstantPotentialGlobalPhase) {
   SoAWave<double> w(small_grid(), 1);
   init_plane_waves(w);
   auto before = w.psi;
@@ -207,6 +239,10 @@ TEST(Vloc, ConstantPotentialGlobalPhase) {
   for (std::size_t i = 0; i < w.psi.size(); ++i)
     EXPECT_NEAR(std::abs(w.psi.data()[i] - ph * before.data()[i]), 0.0, 1e-12);
 }
+
+INSTANTIATE_TEST_SUITE_P(Targets, VlocTargets,
+                         ::testing::ValuesIn(mlmd::testing::kAllSimdTargets),
+                         mlmd::testing::SimdTargetName{});
 
 TEST(Vloc, IonicPotentialAttractiveAndPeriodic) {
   auto g = small_grid();
