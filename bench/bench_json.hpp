@@ -14,16 +14,27 @@
 //   comm_bytes   SimComm payload bytes the measurement moved (obs
 //                registry delta; 0 for single-rank kernels)
 //   comm_seconds SimComm blocked-wait seconds over the measurement
+//   comm_overlap_seconds
+//                communication hidden behind compute: summed post->wait
+//                spans of the nonblocking handles (0 under --comm=sync)
+//   handles_posted / handles_completed
+//                nonblocking CommHandles created / waited during the
+//                measurement; equal counts are the handle-leak invariant
+//                trace_check enforces
 //   span_count   tracer spans recorded while measuring (0 when tracing
 //                is disabled)
 // The comm_* keys map onto the mlmd::perf machine-model inputs: the
 // measured bytes play the role of the model's per-step communication
-// volume, the wait seconds its latency/bandwidth term.
+// volume, the wait seconds its latency/bandwidth term, and the overlap
+// seconds the fraction of it hidden by interior compute.
 //
 // When the measurement ran over a SimComm transport the object carries
 // an optional top-level "transport" string ("inproc" or "shm", DESIGN.md
 // Sec. 11) identifying the backend, so scaling points measured over real
-// process boundaries are distinguishable from threaded ones.
+// process boundaries are distinguishable from threaded ones, and an
+// optional top-level "comm" string ("sync" or "async") recording the
+// stepping-loop communication mode (results are bit-identical across
+// modes; only wait/overlap seconds move).
 //
 // Every file additionally carries an optional "machine" block
 //
@@ -61,6 +72,9 @@ struct Record {
   double seconds = 0.0;
   unsigned long long comm_bytes = 0;
   double comm_seconds = 0.0;
+  double comm_overlap_seconds = 0.0;
+  unsigned long long handles_posted = 0;
+  unsigned long long handles_completed = 0;
   unsigned long long span_count = 0;
 };
 
@@ -95,7 +109,8 @@ inline FtStats ft_stats_from_registry() {
 
 inline bool write(const std::string& path, const std::vector<Record>& recs,
                   const FtStats* ft = nullptr,
-                  const std::string& transport = "") {
+                  const std::string& transport = "",
+                  const std::string& comm_mode = "") {
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
   std::fprintf(fp, "{\"schema_version\": %d, ", kSchemaVersion);
@@ -107,6 +122,8 @@ inline bool write(const std::string& path, const std::vector<Record>& recs,
   std::fprintf(fp, "]}, ");
   if (!transport.empty())
     std::fprintf(fp, "\"transport\": \"%s\", ", transport.c_str());
+  if (!comm_mode.empty())
+    std::fprintf(fp, "\"comm\": \"%s\", ", comm_mode.c_str());
   std::fprintf(fp, "\"records\": [\n");
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const auto& r = recs[i];
@@ -114,9 +131,11 @@ inline bool write(const std::string& path, const std::vector<Record>& recs,
         fp,
         "  {\"kernel\": \"%s\", \"gflops\": %.6g, \"bytes_alloc\": %llu, "
         "\"seconds\": %.6g, \"comm_bytes\": %llu, \"comm_seconds\": %.6g, "
-        "\"span_count\": %llu}%s\n",
+        "\"comm_overlap_seconds\": %.6g, \"handles_posted\": %llu, "
+        "\"handles_completed\": %llu, \"span_count\": %llu}%s\n",
         r.kernel.c_str(), r.gflops, r.bytes_alloc, r.seconds, r.comm_bytes,
-        r.comm_seconds, r.span_count, i + 1 < recs.size() ? "," : "");
+        r.comm_seconds, r.comm_overlap_seconds, r.handles_posted,
+        r.handles_completed, r.span_count, i + 1 < recs.size() ? "," : "");
   }
   std::fprintf(fp, "]");
   if (ft && ft->any()) {

@@ -9,7 +9,10 @@
 //   exactly the shape chrome://tracing and Perfetto accept.
 // * A bench --json file (benchjson schema v2) must be an OBJECT with an
 //   integer "schema_version" and a "records" array whose elements carry
-//   kernel/gflops/bytes_alloc/seconds/comm_bytes/comm_seconds/span_count.
+//   kernel/gflops/bytes_alloc/seconds/comm_bytes/comm_seconds/
+//   comm_overlap_seconds/handles_posted/handles_completed/span_count.
+//   Per record, handles_completed must equal handles_posted (no leaked
+//   nonblocking CommHandles) and comm_overlap_seconds must be >= 0.
 //   An optional "ft" object (fault-tolerance totals, DESIGN.md Sec. 10)
 //   must, when present, carry numeric faults_injected/faults_detected/
 //   faults_recovered/checkpoint_writes/checkpoint_bytes/
@@ -252,9 +255,15 @@ int check_bench(const Value& root) {
                  "trace_check: bench JSON lacks schema_version/records\n");
     return 1;
   }
-  static const char* num_keys[] = {"gflops",       "bytes_alloc",
-                                   "seconds",      "comm_bytes",
-                                   "comm_seconds", "span_count"};
+  static const char* num_keys[] = {"gflops",
+                                   "bytes_alloc",
+                                   "seconds",
+                                   "comm_bytes",
+                                   "comm_seconds",
+                                   "comm_overlap_seconds",
+                                   "handles_posted",
+                                   "handles_completed",
+                                   "span_count"};
   for (std::size_t i = 0; i < recs->arr.size(); ++i) {
     const Value& r = *recs->arr[i];
     if (r.kind != Value::Kind::kObject ||
@@ -268,6 +277,28 @@ int check_bench(const Value& root) {
                      k);
         return 1;
       }
+    // Handle-leak invariant: every nonblocking handle a rank posted must
+    // have been completed by the time the record was sampled (a dropped
+    // CommHandle silently discards its payload), and the overlap account
+    // can never be negative.
+    const double posted = field(r, "handles_posted",
+                                Value::Kind::kNumber)->num;
+    const double completed = field(r, "handles_completed",
+                                   Value::Kind::kNumber)->num;
+    if (posted != completed) {
+      std::fprintf(stderr,
+                   "trace_check: record %zu leaks comm handles: %g posted, "
+                   "%g completed\n",
+                   i, posted, completed);
+      return 1;
+    }
+    if (field(r, "comm_overlap_seconds", Value::Kind::kNumber)->num < 0.0) {
+      std::fprintf(stderr,
+                   "trace_check: record %zu has negative "
+                   "comm_overlap_seconds\n",
+                   i);
+      return 1;
+    }
   }
 
   // Optional machine block (DESIGN.md Sec. 12): when present it must name
@@ -319,6 +350,20 @@ int check_bench(const Value& root) {
     transport = t->str;
   }
 
+  // Optional comm-mode tag: "sync" or "async" stepping-loop communication
+  // (results must be bit-identical across modes; trace_check
+  // --compare-comm proves the traffic is too).
+  std::string comm_mode;
+  if (root.obj.count("comm")) {
+    const Value* c = field(root, "comm", Value::Kind::kString);
+    if (!c || (c->str != "sync" && c->str != "async")) {
+      std::fprintf(stderr,
+                   "trace_check: \"comm\" must be \"sync\" or \"async\"\n");
+      return 1;
+    }
+    comm_mode = c->str;
+  }
+
   // Optional fault-tolerance block: validated only when the emitter
   // decided the run exercised the ft layer.
   bool have_ft = false;
@@ -356,11 +401,13 @@ int check_bench(const Value& root) {
     have_ft = true;
   }
 
-  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s\n",
+  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s%s%s\n",
               static_cast<int>(ver->num), recs->arr.size(),
               simd_target.empty() ? "" : ", simd ", simd_target.c_str(),
               transport.empty() ? "" : ", transport ",
-              transport.c_str(), have_ft ? ", ft block present" : "");
+              transport.c_str(),
+              comm_mode.empty() ? "" : ", comm ", comm_mode.c_str(),
+              have_ft ? ", ft block present" : "");
   return 0;
 }
 
@@ -388,8 +435,9 @@ ValuePtr parse_file(const char* path) {
 
 /// --compare-comm a.json b.json: both must be valid bench files with the
 /// same kernel set and bit-equal comm_bytes per kernel. This is how CI
-/// proves the shm and inproc transports move identical traffic for the
-/// same configuration (timings are allowed to differ).
+/// proves the shm and inproc transports — and the sync and async comm
+/// modes — move identical traffic for the same configuration (timings,
+/// overlap seconds, and handle counts are allowed to differ).
 int compare_comm(const char* path_a, const char* path_b) {
   ValuePtr a = parse_file(path_a);
   ValuePtr b = parse_file(path_b);

@@ -90,6 +90,12 @@ void pack_b_panel(const T* b, std::size_t ldb, Trans tb, std::size_t p0,
   using R = typename scalar_of<T>::type;
   if constexpr (std::is_arithmetic_v<T>) {
     if (tb == Trans::kN) {
+      // Contiguous copy case: dispatch the vectorized packer (zero-pad
+      // semantics identical to the loop below, alpha==1 is a plain copy).
+      if (const auto fn = simd::pack_fn<T>(); fn != nullptr) {
+        fn(b + p0 * ldb + j0, ldb, kc, T{1}, nr, NR, dst);
+        return;
+      }
       for (std::size_t p = 0; p < kc; ++p) {
         const T* src = b + (p0 + p) * ldb + j0;
         T* d = dst + p * NR;
@@ -145,6 +151,22 @@ void pack_a_panel(const T* a, std::size_t lda, Trans ta, T alpha,
   using R = typename scalar_of<T>::type;
   constexpr std::size_t rpc = is_cplx_v<T> ? 2 : 1;
   const std::size_t nib = (mc + MR - 1) / MR;
+  if constexpr (std::is_arithmetic_v<T>) {
+    // Real kT/kC (kC == kT for real): op(A)(i, p) = a[p*lda + i], so each
+    // packed row p is a contiguous mr-run scaled by alpha — dispatch the
+    // vectorized packer per micro-panel (same scale/zero-pad semantics as
+    // the generic loop below; alpha*v is one elementwise IEEE multiply).
+    if (ta != Trans::kN) {
+      if (const auto fn = simd::pack_fn<T>(); fn != nullptr) {
+        for (std::size_t ib = 0; ib < nib; ++ib) {
+          const std::size_t mr = std::min(MR, mc - ib * MR);
+          fn(a + p0 * lda + i0 + ib * MR, lda, kc, alpha, mr, MR,
+             dst + ib * kc * MR);
+        }
+        return;
+      }
+    }
+  }
   for (std::size_t ib = 0; ib < nib; ++ib) {
     R* panel = dst + ib * kc * MR * rpc;
     const std::size_t mr = std::min(MR, mc - ib * MR);

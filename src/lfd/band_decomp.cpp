@@ -35,21 +35,54 @@ namespace {
 /// Circulate slices around the ring. `visit(owner_rank, slice)` is called
 /// once per rank, starting with this rank's own slice. Slices may have
 /// different column counts; each transfer carries the flattened matrix.
+///
+/// With --comm=async each round's transfer is posted *before* the round's
+/// block GEMM, so the boundary communication overlaps the compute on the
+/// slice already in hand (the ring-systolic overlap plane-wave codes
+/// rely on). Transfer order and payloads are identical to the synchronous
+/// path, so results are bit-identical across modes. An active `pre`
+/// (ring_prefetch) supplies the round-0 transfer, posted even earlier —
+/// before the caller's grid-local stencil work.
 void ring_visit(par::Comm& comm, const la::Matrix<cd>& my_slice,
-                const std::function<void(int, const la::Matrix<cd>&)>& visit) {
+                const std::function<void(int, const la::Matrix<cd>&)>& visit,
+                lfd::RingPrefetch* pre = nullptr) {
   const int p = comm.size();
   const int next = (comm.rank() + 1) % p;
   const int prev = (comm.rank() + p - 1) % p;
   const std::size_t ngrid = my_slice.rows();
+  const bool overlap = par::default_comm_mode() == par::CommMode::kAsync;
 
   la::Matrix<cd> current = my_slice;
   int owner = comm.rank();
+  std::vector<cd> incoming;
   for (int round = 0; round < p; ++round) {
+    const bool last = round + 1 == p;
+    par::CommHandle hs, hr;
+    if (!last && (overlap || (pre && pre->active && round == 0))) {
+      if (pre && pre->active && round == 0) {
+        // Round 0 was posted by ring_prefetch, before the caller's
+        // stencil work — adopt its handles.
+        hs = pre->send;
+        hr = pre->recv;
+        pre->active = false;
+      } else {
+        hs = comm.isend(next, round,
+                        std::span<const cd>(current.data(), current.size()));
+        hr = comm.irecv(prev, round);
+      }
+    }
     visit(owner, current);
-    if (round + 1 == p) break;
-    // Pass the current slice downstream, receive the upstream one.
-    auto incoming = comm.sendrecv(
-        next, std::span<const cd>(current.data(), current.size()), prev, round);
+    if (last) break;
+    if (hr.valid()) {
+      comm.wait_into(hr, incoming);
+      hs.wait();
+    } else {
+      // Synchronous path: pass the current slice downstream, receive the
+      // upstream one.
+      comm.sendrecv_into(
+          next, std::span<const cd>(current.data(), current.size()), prev,
+          round, incoming);
+    }
     owner = (owner + p - 1) % p;
     const std::size_t cols = incoming.size() / ngrid;
     current.resize(ngrid, cols);
@@ -59,22 +92,39 @@ void ring_visit(par::Comm& comm, const la::Matrix<cd>& my_slice,
 
 } // namespace
 
+RingPrefetch ring_prefetch(par::Comm& comm, const la::Matrix<cd>& slice) {
+  RingPrefetch pre;
+  const int p = comm.size();
+  if (p <= 1 || par::default_comm_mode() != par::CommMode::kAsync) return pre;
+  const int next = (comm.rank() + 1) % p;
+  const int prev = (comm.rank() + p - 1) % p;
+  pre.send =
+      comm.isend(next, 0, std::span<const cd>(slice.data(), slice.size()));
+  pre.recv = comm.irecv(prev, 0);
+  pre.active = true;
+  return pre;
+}
+
 la::Matrix<cd> distributed_overlap(par::Comm& comm, const BandLayout& layout,
                                    const la::Matrix<cd>& a_slice,
-                                   const la::Matrix<cd>& b_slice, double dv) {
+                                   const la::Matrix<cd>& b_slice, double dv,
+                                   RingPrefetch* prefetch) {
   const std::size_t no = layout.norb_total;
   la::Matrix<cd> s(no, no);
 
   // Each visit computes the block S[rows of owner's slice, my columns].
-  ring_visit(comm, a_slice, [&](int owner, const la::Matrix<cd>& a_rem) {
-    la::Matrix<cd> block(a_rem.cols(), b_slice.cols());
-    la::gemm(la::Trans::kC, la::Trans::kN, cd(dv, 0.0), a_rem, b_slice, cd{},
-             block);
-    const auto [r0, r1] = BandLayout::slice_of(owner, comm.size(), no);
-    for (std::size_t i = r0; i < r1; ++i)
-      for (std::size_t j = 0; j < b_slice.cols(); ++j)
-        s(i, layout.s0 + j) = block(i - r0, j);
-  });
+  ring_visit(
+      comm, a_slice,
+      [&](int owner, const la::Matrix<cd>& a_rem) {
+        la::Matrix<cd> block(a_rem.cols(), b_slice.cols());
+        la::gemm(la::Trans::kC, la::Trans::kN, cd(dv, 0.0), a_rem, b_slice,
+                 cd{}, block);
+        const auto [r0, r1] = BandLayout::slice_of(owner, comm.size(), no);
+        for (std::size_t i = r0; i < r1; ++i)
+          for (std::size_t j = 0; j < b_slice.cols(); ++j)
+            s(i, layout.s0 + j) = block(i - r0, j);
+      },
+      prefetch);
 
   // Element-wise allreduce assembles the full matrix on every rank (each
   // element is nonzero on exactly one rank).
@@ -139,10 +189,12 @@ std::vector<double> distributed_density(par::Comm& comm,
 
 void distributed_nlp_prop(par::Comm& comm, const BandLayout& layout,
                           const grid::Grid3& grid, la::Matrix<cd>& psi_slice,
-                          const la::Matrix<cd>& psi0_slice, std::complex<double> delta) {
+                          const la::Matrix<cd>& psi0_slice,
+                          std::complex<double> delta, RingPrefetch* prefetch) {
   const double dv = grid.dv();
   // CGEMM(1), distributed: S = psi0^H psi(t) * dv.
-  auto s = distributed_overlap(comm, layout, psi0_slice, psi_slice, dv);
+  auto s = distributed_overlap(comm, layout, psi0_slice, psi_slice, dv,
+                               prefetch);
   // CGEMM(2), distributed: psi += delta * psi0 * S -> transform psi0's
   // slices by (delta * S)[rows, my cols] and add.
   la::Matrix<cd> update = psi0_slice;

@@ -42,17 +42,26 @@ void BandParallelDomain::qd_step(const double a[3]) {
   kp.a[0] = a[0];
   kp.a[1] = a[1];
   kp.a[2] = a[2];
+  // When the nonlocal correction fires at the end of this step, post the
+  // round-0 psi0 ring transfer now (--comm=async; psi0 is constant): the
+  // boundary-slice communication then overlaps the grid-local stencil
+  // work below instead of serializing after it.
+  const bool nlp_due = opt_.nlp_every > 0 && (steps_ + 1) % opt_.nlp_every == 0;
+  RingPrefetch pre;
+  if (nlp_due) pre = ring_prefetch(comm_, psi0_slice_);
+
   // Grid-local: zero communication.
   vloc_prop(wave_, vloc_, 0.5 * opt_.dt_qd);
   kin_prop(wave_, kp, KinVariant::kReordered);
   vloc_prop(wave_, vloc_, 0.5 * opt_.dt_qd);
 
   ++steps_;
-  if (opt_.nlp_every > 0 && steps_ % opt_.nlp_every == 0) {
+  if (nlp_due) {
     // Collective GEMMified nonlocal correction (Eq. 5, ring systolic).
     distributed_nlp_prop(comm_, layout_, wave_.grid, wave_.psi, psi0_slice_,
                          opt_.scissor_delta *
-                             (opt_.dt_qd * static_cast<double>(opt_.nlp_every)));
+                             (opt_.dt_qd * static_cast<double>(opt_.nlp_every)),
+                         &pre);
   }
 }
 

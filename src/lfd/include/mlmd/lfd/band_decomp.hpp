@@ -36,13 +36,32 @@ struct BandLayout {
                                                       std::size_t norb_total);
 };
 
+/// Pre-posted round-0 ring transfer (--comm=async overlap): the boundary
+/// slice exchange of a future ring circulation, posted early so grid-local
+/// stencil work can run while it flies. Obtain via ring_prefetch and hand
+/// to the matching distributed_overlap/distributed_nlp_prop call; at most
+/// one prefetch may be outstanding per communicator.
+struct RingPrefetch {
+  par::CommHandle send, recv;
+  bool active = false;
+};
+
+/// Post the round-0 transfer of a ring circulation over `slice` (send the
+/// slice downstream, receive the upstream one). No-op (inactive prefetch)
+/// when synchronous comm is selected or the ring is trivial (one rank).
+RingPrefetch ring_prefetch(par::Comm& comm,
+                           const la::Matrix<std::complex<double>>& slice);
+
 /// Full overlap matrix S = A^H B * dv (norb_total x norb_total), where
 /// every rank holds the column slices A[:, s0:s1) and B[:, s0:s1).
 /// Returned (identically) on every rank. One ring circulation of A.
+/// `prefetch`, if active, must be the ring_prefetch of `a_slice` and is
+/// consumed as the circulation's round-0 transfer.
 la::Matrix<std::complex<double>> distributed_overlap(
     par::Comm& comm, const BandLayout& layout,
     const la::Matrix<std::complex<double>>& a_slice,
-    const la::Matrix<std::complex<double>>& b_slice, double dv);
+    const la::Matrix<std::complex<double>>& b_slice, double dv,
+    RingPrefetch* prefetch = nullptr);
 
 /// In-place column transform psi <- psi * C, where psi's columns are
 /// band-distributed and C is the full norb x norb coefficient matrix
@@ -67,10 +86,13 @@ std::vector<double> distributed_density(par::Comm& comm,
 /// Distributed GEMMified nonlocal correction (Eq. 5):
 /// psi(t) += delta * psi0 * (psi0^H psi(t) * dv), then per-orbital
 /// renormalization. psi0 and psi(t) are band-distributed alike.
+/// `prefetch`, if active, must be the ring_prefetch of `psi0_slice` (the
+/// slice the leading overlap circulates).
 void distributed_nlp_prop(par::Comm& comm, const BandLayout& layout,
                           const grid::Grid3& grid,
                           la::Matrix<std::complex<double>>& psi_slice,
                           const la::Matrix<std::complex<double>>& psi0_slice,
-                          std::complex<double> delta);
+                          std::complex<double> delta,
+                          RingPrefetch* prefetch = nullptr);
 
 } // namespace mlmd::lfd

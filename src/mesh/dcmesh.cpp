@@ -1,6 +1,7 @@
 #include "mlmd/mesh/dcmesh.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "mlmd/ft/fault.hpp"
 #include "mlmd/lfd/hamiltonian.hpp"
@@ -36,6 +37,31 @@ StepStats DcMeshDomain::md_step_impl(const maxwell::Pulse* pulse, double fixed_a
                                      bool use_fixed_a) {
   StepStats stats;
   obs::ObsScope step_span("mesh.md_step", obs::Cat::kStep);
+  begin_impl(stats);
+  finish_impl(stats, pulse, fixed_a, use_fixed_a);
+  return stats;
+}
+
+PendingStep DcMeshDomain::md_step_begin() {
+  PendingStep pending;
+  pending.open = true;
+  begin_impl(pending.stats);
+  return pending;
+}
+
+StepStats DcMeshDomain::md_step_finish(PendingStep& pending, double a_value) {
+  if (!pending.open)
+    throw std::logic_error(
+        "DcMeshDomain::md_step_finish: no open step (call md_step_begin)");
+  pending.open = false;
+  finish_impl(pending.stats, nullptr, a_value, true);
+  return pending.stats;
+}
+
+// A-independent front of one MD step: ion forces + Verlet positions and
+// the delta_v_loc shadow exchange. Split out so the async step loop can
+// overlap the Maxwell boundary communication (which produces A) with it.
+void DcMeshDomain::begin_impl(StepStats& stats) {
   ft::set_step(steps_); // publish the MD step clock to SimComm-level hooks
   const double dt_md = md_dt();
   const grid::Grid3& g = lfd_.grid();
@@ -93,6 +119,13 @@ StepStats DcMeshDomain::md_step_impl(const maxwell::Pulse* pulse, double fixed_a
     lfd_.apply_delta_vloc(dv);
     stats.bytes_qxmd_to_lfd = dv.size() * sizeof(double);
   }
+}
+
+// Back half: everything that consumes the vector potential.
+void DcMeshDomain::finish_impl(StepStats& stats, const maxwell::Pulse* pulse,
+                               double fixed_a, bool use_fixed_a) {
+  const double dt_md = md_dt();
+  const grid::Grid3& g = lfd_.grid();
 
   // --- LFD side (FP32 shadow proxy): N_QD steps of Eq. (2) -------------
   double a[3] = {0, 0, 0};
@@ -153,7 +186,6 @@ StepStats DcMeshDomain::md_step_impl(const maxwell::Pulse* pulse, double fixed_a
 
   t_ += dt_md;
   ++steps_;
-  return stats;
 }
 
 void DcMeshDomain::save_checkpoint(ft::CheckpointWriter& w) const {

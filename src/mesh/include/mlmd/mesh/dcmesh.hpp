@@ -44,6 +44,13 @@ struct StepStats {
   double electron_energy = 0.0;
 };
 
+/// In-flight MD step between md_step_begin and md_step_finish
+/// (communication/computation overlap, --comm=async).
+struct PendingStep {
+  StepStats stats;
+  bool open = false;
+};
+
 class DcMeshDomain {
 public:
   DcMeshDomain(const grid::Grid3& g, std::size_t norb, std::size_t nfilled,
@@ -56,6 +63,19 @@ public:
   /// One MD step with an externally supplied constant vector potential
   /// (used by the multiscale Maxwell coupling, which owns A(X, t)).
   StepStats md_step_with_a(double a_value);
+
+  // --- split-phase MD step (--comm=async overlap) ----------------------
+  // md_step_with_a(a) == md_step_finish(md_step_begin(), a), instruction
+  // for instruction: begin runs the A-independent front of the step (ion
+  // forces + Verlet positions, delta_v_loc exchange) so the caller can
+  // overlap boundary communication that produces A; finish consumes the
+  // vector potential (QD loop, second half-kick, surface hopping,
+  // delta_f). Exactly one finish per begin.
+
+  /// A-independent front half of one MD step.
+  PendingStep md_step_begin();
+  /// Back half; requires an open PendingStep from md_step_begin.
+  StepStats md_step_finish(PendingStep& pending, double a_value);
 
   double time() const { return t_; }
   double md_dt() const { return opt_.nqd_per_md * opt_.lfd.dt_qd; }
@@ -85,6 +105,9 @@ public:
 private:
   StepStats md_step_impl(const maxwell::Pulse* pulse, double fixed_a,
                          bool use_fixed_a);
+  void begin_impl(StepStats& stats);
+  void finish_impl(StepStats& stats, const maxwell::Pulse* pulse,
+                   double fixed_a, bool use_fixed_a);
 
   MeshOptions opt_;
   lfd::LfdDomain<float> lfd_;

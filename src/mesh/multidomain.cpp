@@ -7,6 +7,7 @@
 
 #include "mlmd/common/timer.hpp"
 #include "mlmd/common/units.hpp"
+#include "mlmd/obs/trace.hpp"
 
 namespace mlmd::mesh {
 namespace {
@@ -18,8 +19,9 @@ constexpr const char* kTrafficOps[] = {"barrier", "broadcast", "gather",
                                        "allgatherv", "allreduce", "send",
                                        "recv"};
 constexpr std::size_t kNumTrafficOps = 7;
-// 7 ops x {calls, bytes} + bit-cast wait_seconds.
-using PackedTraffic = std::array<std::uint64_t, 2 * kNumTrafficOps + 1>;
+// 7 ops x {calls, bytes} + bit-cast wait_seconds + bit-cast
+// overlap_seconds + handles posted/completed.
+using PackedTraffic = std::array<std::uint64_t, 2 * kNumTrafficOps + 4>;
 
 PackedTraffic pack_traffic(const par::RankTraffic& rt) {
   PackedTraffic p{};
@@ -30,6 +32,9 @@ PackedTraffic pack_traffic(const par::RankTraffic& rt) {
     }
   }
   p[2 * kNumTrafficOps] = std::bit_cast<std::uint64_t>(rt.wait_seconds);
+  p[2 * kNumTrafficOps + 1] = std::bit_cast<std::uint64_t>(rt.overlap_seconds);
+  p[2 * kNumTrafficOps + 2] = rt.handles_posted;
+  p[2 * kNumTrafficOps + 3] = rt.handles_completed;
   return p;
 }
 
@@ -40,6 +45,9 @@ par::RankTraffic unpack_traffic(const PackedTraffic& p) {
     rt.ops[kTrafficOps[i]] = par::RankOpStats{p[2 * i], p[2 * i + 1]};
   }
   rt.wait_seconds = std::bit_cast<double>(p[2 * kNumTrafficOps]);
+  rt.overlap_seconds = std::bit_cast<double>(p[2 * kNumTrafficOps + 1]);
+  rt.handles_posted = p[2 * kNumTrafficOps + 2];
+  rt.handles_completed = p[2 * kNumTrafficOps + 3];
   return rt;
 }
 
@@ -77,18 +85,10 @@ ParallelMeshResult run_parallel_mesh(int nranks, const ParallelMeshOptions& opt)
     const double dt_md = dom.md_dt();
     const int em_substeps = std::max(1, static_cast<int>(dt_md / dt_em));
 
-    for (int step = 0; step < opt.md_steps; ++step) {
-      // (1) local macroscopic current at this domain's macro cell.
-      const double a_here = em.a_at(my_cell);
-      const auto j = dom.current(a_here);
-      const double j_mine = j[static_cast<std::size_t>(
-          opt.mesh.polarization_axis)];
-
-      // (2) allgather of per-domain currents (one double per rank).
-      auto j_all = comm.allgather(j_mine);
-
-      // (3) replicated Maxwell advance over one MD step.
-      std::vector<double> j_cells(ncells, 0.0);
+    // (3) replicated Maxwell advance over one MD step (shared by both
+    // comm modes; consumes the gathered per-domain currents).
+    std::vector<double> j_cells(ncells, 0.0);
+    const auto advance_em = [&](const std::vector<double>& j_all) {
       for (int d = 0; d < nd; ++d) {
         const std::size_t cell =
             pad + static_cast<std::size_t>(d) * opt.maxwell_cells_per_domain +
@@ -96,9 +96,37 @@ ParallelMeshResult run_parallel_mesh(int nranks, const ParallelMeshOptions& opt)
         j_cells[cell] = j_all[static_cast<std::size_t>(d)];
       }
       for (int s = 0; s < em_substeps; ++s) em.step(j_cells);
+    };
 
-      // (4) domain MD step with the local vector potential.
-      dom.md_step_with_a(em.a_at(my_cell));
+    const bool overlap = par::default_comm_mode() == par::CommMode::kAsync;
+    std::vector<double> j_all;
+    for (int step = 0; step < opt.md_steps; ++step) {
+      // (1) local macroscopic current at this domain's macro cell.
+      const double a_here = em.a_at(my_cell);
+      const auto j = dom.current(a_here);
+      const double j_mine = j[static_cast<std::size_t>(
+          opt.mesh.polarization_axis)];
+
+      if (overlap) {
+        // (2') post the current allgather, then run the A-independent
+        // front of the MD step (ion forces, Verlet positions, delta_v_loc
+        // exchange) while the collective flies; complete it, advance
+        // Maxwell, and finish the step with the fresh local A. Identical
+        // op order within each subsystem, so results are bit-identical to
+        // the synchronous path (asserted in test_mesh and benchsmoke).
+        auto h = comm.iallgather(j_mine);
+        obs::ObsScope step_span("mesh.md_step", obs::Cat::kStep);
+        auto pending = dom.md_step_begin();
+        comm.wait_into(h, j_all);
+        advance_em(j_all);
+        dom.md_step_finish(pending, em.a_at(my_cell));
+      } else {
+        // (2) allgather of per-domain currents (one double per rank).
+        j_all = comm.allgather(j_mine);
+        advance_em(j_all);
+        // (4) domain MD step with the local vector potential.
+        dom.md_step_with_a(em.a_at(my_cell));
+      }
     }
 
     // (5) single n_exc gather to rank 0 (Sec. V.A.8).

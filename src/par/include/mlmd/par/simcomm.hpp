@@ -57,12 +57,24 @@ public:
   void send(int src, int dst, int tag,
             std::span<const std::byte> payload) override;
   std::vector<std::byte> recv(int dst, int src, int tag) override;
+  void recv_into(int dst, int src, int tag,
+                 std::vector<std::byte>& out) override;
+
+  /// Split-phase collective: the post deposits this rank's contribution
+  /// (so the collective can assemble while this rank computes); wait()
+  /// blocks for the assembled result. Identical protocol, op order, and
+  /// accounting as exchange().
+  CommHandle iexchange(int rank, std::span<const std::byte> contrib, int root,
+                       bool to_all, const char* op) override;
 
   void abort(const std::string& reason) override;
 
   TrafficStats stats() const override;
   RankTraffic rank_traffic(int rank) const override;
   void reset_stats() override;
+
+protected:
+  void note_handle(int rank, bool completed, double overlap_seconds) override;
 
 private:
   /// Account one op entry for `rank` and publish to the obs registry.
@@ -107,6 +119,9 @@ private:
   std::vector<std::byte> assembled_;
 
   std::map<Key, std::vector<std::vector<std::byte>>> mailboxes_;
+  // Retired message buffers recycled by send() (capacity kept), so the
+  // steady-state send -> recv_into loop allocates nothing. Guarded by mu_.
+  std::vector<std::vector<std::byte>> pool_;
 
   mutable std::mutex stats_mu_;
   TrafficStats stats_;
@@ -242,6 +257,76 @@ public:
     return recv<T>(src, tag);
   }
 
+  // --- nonblocking / reusable-buffer variants (--comm=async hot paths).
+  // Accounting parity: each accounts the identical op name and bytes as
+  // its blocking twin, so comm_bytes is bit-identical across --comm modes.
+
+  /// Nonblocking tagged send; payload is in flight when this returns.
+  template <class T>
+  CommHandle isend(int dst, int tag, std::span<const T> payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    obs::ObsScope span("comm.isend", obs::Cat::kComm);
+    return state_->isend(rank_, dst, tag, std::as_bytes(payload));
+  }
+
+  /// Nonblocking tagged receive; complete with wait<T>/wait_into.
+  CommHandle irecv(int src, int tag) {
+    obs::ObsScope span("comm.irecv", obs::Cat::kComm);
+    return state_->irecv(rank_, src, tag);
+  }
+
+  /// Nonblocking allgatherv: the contribution is deposited at post so
+  /// peers can assemble while this rank computes. At most one collective
+  /// handle may be outstanding per rank (single collective slot).
+  template <class T>
+  CommHandle iallgatherv(std::span<const T> block) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    obs::ObsScope span("comm.iallgatherv", obs::Cat::kComm);
+    return state_->iexchange(rank_, std::as_bytes(block), -1, true,
+                             "allgatherv");
+  }
+
+  template <class T>
+  CommHandle iallgather(const T& v) {
+    return iallgatherv(std::span<const T>(&v, 1));
+  }
+
+  /// Complete a handle and unpack its payload.
+  template <class T>
+  std::vector<T> wait(CommHandle& h) {
+    obs::ObsScope span("comm.wait", obs::Cat::kComm);
+    auto bytes = h.wait();
+    return unpack<T>(bytes);
+  }
+
+  /// Complete a handle into a reusable typed buffer (capacity kept).
+  template <class T>
+  void wait_into(CommHandle& h, std::vector<T>& out) {
+    obs::ObsScope span("comm.wait", obs::Cat::kComm);
+    auto bytes = h.wait();
+    unpack_into(bytes, out);
+  }
+
+  /// Blocking receive into a reusable typed buffer: together with the
+  /// transport's recycled message buffers the steady-state comm loop
+  /// performs zero heap allocations (asserted in test_obs).
+  template <class T>
+  void recv_into(int src, int tag, std::vector<T>& out) {
+    obs::ObsScope span("comm.recv", obs::Cat::kComm);
+    auto& scratch = recv_scratch();
+    state_->recv_into(rank_, src, tag, scratch);
+    unpack_into(scratch, out);
+  }
+
+  /// Paired exchange (halo pattern) into a reusable buffer.
+  template <class T>
+  void sendrecv_into(int dst, std::span<const T> payload, int src, int tag,
+                     std::vector<T>& out) {
+    obs::ObsScope span("comm.sendrecv", obs::Cat::kComm);
+    send(dst, tag, payload);
+    recv_into(src, tag, out);
+  }
+
   TrafficStats stats() const { return state_->stats(); }
   /// This rank's exact communication account (per-op calls/bytes, wait
   /// time) since construction or the last reset_stats().
@@ -256,6 +341,23 @@ private:
     std::vector<T> out(bytes.size() / sizeof(T));
     std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
+  }
+
+  template <class T>
+  static void unpack_into(const std::vector<std::byte>& bytes,
+                          std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (bytes.size() % sizeof(T) != 0)
+      throw std::runtime_error("SimComm: payload size mismatch");
+    out.resize(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+
+  /// Reusable per-thread byte staging for recv_into (each logical rank is
+  /// its own thread or process, so a thread_local is per-rank scratch).
+  static std::vector<std::byte>& recv_scratch() {
+    thread_local std::vector<std::byte> scratch;
+    return scratch;
   }
 
   std::shared_ptr<Transport> state_;

@@ -23,7 +23,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -59,6 +61,53 @@ struct RankOpStats {
 struct RankTraffic {
   std::map<std::string, RankOpStats> ops;
   double wait_seconds = 0.0; ///< total time blocked in barrier/exchange/recv
+  /// Comm time hidden behind compute: for every nonblocking handle, the
+  /// wall span between posting the op and entering wait() on it.
+  double overlap_seconds = 0.0;
+  std::uint64_t handles_posted = 0;    ///< isend/irecv/iexchange handles created
+  std::uint64_t handles_completed = 0; ///< handles that reached wait()
+};
+
+class Transport;
+
+/// Waitable completion handle for a nonblocking transport operation
+/// (Transport::isend/irecv/iexchange). Post-time side effects (payload
+/// copy, collective deposit) have already happened when the handle is
+/// returned; wait() blocks until the operation completes and surrenders
+/// the received payload (empty for sends). Every posted handle must be
+/// waited before the group tears down — the posted/completed counters in
+/// RankTraffic make a leaked handle a validated invariant violation.
+class CommHandle {
+public:
+  CommHandle() = default; ///< empty handle; valid() is false
+  bool valid() const { return st_ != nullptr; }
+  bool done() const { return st_ && st_->completed; }
+  /// Block until the operation completes and return its payload. The
+  /// post -> wait window is recorded as overlap (comm hidden behind
+  /// compute); any further blocking inside counts as wait time, exactly
+  /// like the synchronous op. The payload is surrendered to the first
+  /// wait(); later calls return an empty vector. Errors (abort poisoning,
+  /// bad peer) surface here with the same exception taxonomy as the
+  /// blocking call would have thrown.
+  std::vector<std::byte> wait();
+
+  /// Shared completion record. Public so backend overrides can name it in
+  /// their completion closures; only Transport and the handle itself ever
+  /// touch an instance.
+  struct State {
+    Transport* owner = nullptr;
+    int rank = 0;
+    double posted_at = 0.0;
+    bool completed = false;
+    std::vector<std::byte> staged; ///< deferred ops: post-time payload copy
+    std::vector<std::byte> result;
+    std::function<std::vector<std::byte>(State&)> complete;
+  };
+
+private:
+  friend class Transport;
+  explicit CommHandle(std::shared_ptr<State> st) : st_(std::move(st)) {}
+  std::shared_ptr<State> st_;
 };
 
 /// Backend-neutral transport interface for one group of ranks.
@@ -82,6 +131,34 @@ public:
   virtual void send(int src, int dst, int tag,
                     std::span<const std::byte> payload) = 0;
   virtual std::vector<std::byte> recv(int dst, int src, int tag) = 0;
+  /// Blocking receive into a caller-owned reusable buffer: `out` is
+  /// resized to the payload and its capacity is reused across calls, so
+  /// the steady-state comm loop performs zero heap allocations (asserted
+  /// in test_obs). Default forwards to recv(); backends override to
+  /// recycle their internal message buffers too.
+  virtual void recv_into(int dst, int src, int tag,
+                         std::vector<std::byte>& out);
+
+  // --- nonblocking primitives (--comm=async consumers) -----------------
+  // Accounting parity contract: an async op accounts the identical op
+  // name and byte count as its blocking twin, exactly once, so per-rank
+  // comm_bytes is bit-identical across --comm modes (and across
+  // transports, as before). Only wait/overlap seconds may differ.
+
+  /// Nonblocking tagged send. The payload is consumed (copied toward the
+  /// receiver) at post time; the returned handle completes with an empty
+  /// payload. Backends whose send buffers fill may block at post, exactly
+  /// like the blocking send would.
+  virtual CommHandle isend(int src, int dst, int tag,
+                           std::span<const std::byte> payload);
+  /// Nonblocking tagged receive; wait() yields the payload.
+  virtual CommHandle irecv(int dst, int src, int tag);
+  /// Nonblocking collective exchange. Post deposits this rank's
+  /// contribution (so peers can complete without waiting for this rank's
+  /// wait()); wait() blocks for the assembled result. Same result and
+  /// accounting as exchange().
+  virtual CommHandle iexchange(int rank, std::span<const std::byte> contrib,
+                               int root, bool to_all, const char* op);
 
   /// Poison the group: every rank blocked (or about to block) in
   /// barrier/exchange/recv unwinds with a "SimComm aborted" runtime_error
@@ -93,6 +170,27 @@ public:
   virtual void reset_stats() = 0;
 
 protected:
+  friend class CommHandle;
+
+  /// Monotonic seconds since an arbitrary epoch (wait/overlap accounting).
+  static double mono_seconds();
+
+  /// Handle bookkeeping: called once at post (completed = false) and once
+  /// when wait() fires (completed = true, with the post -> wait overlap
+  /// window). The base implementation publishes the process-global obs
+  /// instruments ("simcomm.handles.posted"/".completed",
+  /// "simcomm.overlap.seconds"); backends override to also record the
+  /// per-rank RankTraffic account, then call the base.
+  virtual void note_handle(int rank, bool completed, double overlap_seconds);
+
+  /// Build an already-completed handle (eager ops, e.g. isend).
+  CommHandle make_completed(int rank);
+  /// Build a deferred handle whose wait() runs `complete`. `staged` is
+  /// retained in the handle state (post-time payload copy for deferred
+  /// ops; the closure reads it through the State& argument).
+  CommHandle make_deferred(int rank, std::vector<std::byte> staged,
+                           std::function<std::vector<std::byte>(
+                               CommHandle::State&)> complete);
   /// Publish one op account ("simcomm.<op>.calls"/".bytes") to the
   /// process-global obs registry through per-op cached counter handles:
   /// zero registry lookups and zero heap allocations on the steady-state
@@ -140,5 +238,32 @@ const char* transport_name(TransportKind kind);
 /// use; set_default_transport (the --transport flag) overrides it.
 TransportKind default_transport();
 void set_default_transport(TransportKind kind);
+
+/// Communication/computation overlap mode of the stepping hot paths
+/// (--comm=sync|async). kSync keeps the historical fully-blocking
+/// structure; kAsync posts boundary exchanges early and computes interior
+/// work while they fly (mesh::multidomain, lfd band ring). Both modes are
+/// bit-identical in results and per-rank comm_bytes — only the measured
+/// wait/overlap seconds differ.
+enum class CommMode { kSync, kAsync };
+
+/// (name, value) table for Cli::choice — the accepted --comm spellings.
+inline constexpr std::pair<const char*, CommMode> kCommModeChoices[] = {
+    {"sync", CommMode::kSync},
+    {"async", CommMode::kAsync},
+};
+
+/// Parse a --comm value (kCommModeChoices spellings); throws
+/// std::invalid_argument on anything else. Used for the MLMD_COMM
+/// environment variable; command lines go through Cli::choice.
+CommMode parse_comm_mode(const std::string& name);
+const char* comm_mode_name(CommMode mode);
+
+/// Process-wide overlap mode consulted by the restructured consumers.
+/// Initialized from the MLMD_COMM environment variable on first use;
+/// async is the (tested) default. set_default_comm_mode (the --comm
+/// flag) overrides it.
+CommMode default_comm_mode();
+void set_default_comm_mode(CommMode mode);
 
 } // namespace mlmd::par

@@ -64,11 +64,8 @@ namespace mlmd::par {
 namespace detail {
 namespace {
 
-double mono_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// Wait/overlap accounting uses the shared Transport::mono_seconds clock
+// (member lookup resolves the unqualified calls below to it).
 
 constexpr std::size_t kCollCap = 1u << 20; // collective chunk bytes per round
 constexpr std::size_t kRingCap = 1u << 16; // p2p ring bytes per (src,dst)
@@ -110,7 +107,27 @@ struct ShmRankTraffic {
   std::uint64_t calls[kNumOps];
   std::uint64_t bytes[kNumOps];
   double wait_seconds;
+  double overlap_seconds;
+  std::uint64_t handles_posted;
+  std::uint64_t handles_completed;
 };
+
+// Adaptive spin-then-park tuning for blocked receives and sync points: a
+// short lock-free doorbell spin (the common case when the peer is already
+// streaming), then condvar parks whose slice doubles from 100us up to the
+// 50ms robustness cap — every waiter still re-checks the abort flag at
+// least every 50ms even if the poisoning rank died before broadcasting.
+constexpr int kDoorbellSpins = 4096;
+constexpr std::uint64_t kMinParkNs = 100ull * 1000;        // 100 us
+constexpr std::uint64_t kMaxParkNs = 50ull * 1000 * 1000;  // 50 ms
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
 
 struct ShmControl {
   pthread_mutex_t mu;
@@ -397,17 +414,53 @@ public:
     {
       Locked lk(this);
       throw_if_aborted_locked();
-      while (!have) {
-        drain_locked(dst, src, tag, payload, have);
-        if (have) break;
-        const double w0 = mono_seconds();
-        wait_slice_locked();
-        waited += mono_seconds() - w0;
+      drain_locked(dst, src, tag, payload, have);
+    }
+    std::uint64_t slice_ns = kMinParkNs;
+    while (!have) {
+      // Doorbell progress: ring_put publishes the producer tail with
+      // release order, so a lock-free acquire poll sees new bytes without
+      // a condvar round-trip. Spin briefly (the common case when the peer
+      // is already streaming), then park in adaptive slices.
+      ShmRing* rg = ring(src, dst);
+      const std::uint64_t seen =
+          __atomic_load_n(&rg->tail, __ATOMIC_ACQUIRE);
+      const double w0 = mono_seconds();
+      bool rung = false;
+      for (int i = 0; i < kDoorbellSpins && !rung; ++i) {
+        rung = __atomic_load_n(&rg->tail, __ATOMIC_ACQUIRE) != seen ||
+               __atomic_load_n(&ctl_->aborted, __ATOMIC_RELAXED) != 0;
+        if (!rung) cpu_relax();
+      }
+      {
+        Locked lk(this);
         throw_if_aborted_locked();
+        if (rung) {
+          slice_ns = kMinParkNs;
+        } else {
+          wait_slice_locked(slice_ns);
+          slice_ns = std::min<std::uint64_t>(slice_ns * 2, kMaxParkNs);
+          throw_if_aborted_locked();
+        }
+        waited += mono_seconds() - w0;
+        drain_locked(dst, src, tag, payload, have);
       }
     }
     account(dst, "recv", payload.size(), waited);
     return payload;
+  }
+
+  void recv_into(int dst, int src, int tag,
+                 std::vector<std::byte>& out) override {
+    auto payload = recv(dst, src, tag);
+    out.assign(payload.begin(), payload.end());
+    // Recycle the frame buffer: drain_locked seeds the next frame's
+    // partial from spare_, so the steady-state send -> recv_into loop
+    // performs zero heap allocations once capacities have warmed up.
+    if (spare_.size() < 64) {
+      payload.clear();
+      spare_.push_back(std::move(payload));
+    }
   }
 
   void abort(const std::string& reason) override {
@@ -431,6 +484,9 @@ public:
       out.ops[kOpNames[i]] = RankOpStats{t->calls[i], t->bytes[i]};
     }
     out.wait_seconds = t->wait_seconds;
+    out.overlap_seconds = t->overlap_seconds;
+    out.handles_posted = t->handles_posted;
+    out.handles_completed = t->handles_completed;
     return out;
   }
 
@@ -582,14 +638,16 @@ private:
                                ctl_->abort_reason);
   }
 
-  /// Bounded condvar wait (50 ms slices): lost-wakeup-proof across
-  /// processes and guarantees every waiter eventually re-checks the abort
-  /// flag even if the poisoning rank died before broadcasting.
-  void wait_slice_locked() const {
+  /// Bounded condvar wait: lost-wakeup-proof across processes and
+  /// guarantees every waiter eventually re-checks the abort flag even if
+  /// the poisoning rank died before broadcasting. The slice is capped at
+  /// kMaxParkNs (50 ms) regardless of what the caller asks for.
+  void wait_slice_locked(std::uint64_t slice_ns = kMaxParkNs) const {
+    if (slice_ns > kMaxParkNs) slice_ns = kMaxParkNs;
     timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
-    ts.tv_nsec += 50 * 1000 * 1000;
-    if (ts.tv_nsec >= 1000000000) {
+    ts.tv_nsec += static_cast<long>(slice_ns);
+    while (ts.tv_nsec >= 1000000000) {
       ts.tv_sec += 1;
       ts.tv_nsec -= 1000000000;
     }
@@ -612,8 +670,13 @@ private:
       return 0.0;
     }
     const double w0 = mono_seconds();
-    while (!ctl_->aborted && ctl_->barrier_generation == gen)
-      wait_slice_locked();
+    // Adaptive slices: lockstep peers normally arrive within microseconds,
+    // so start short and back off toward the 50 ms robustness cap.
+    std::uint64_t slice_ns = kMinParkNs;
+    while (!ctl_->aborted && ctl_->barrier_generation == gen) {
+      wait_slice_locked(slice_ns);
+      slice_ns = std::min<std::uint64_t>(slice_ns * 2, kMaxParkNs);
+    }
     const double waited = mono_seconds() - w0;
     throw_if_aborted_locked();
     return waited;
@@ -630,7 +693,10 @@ private:
     const std::size_t first = std::min(n, kRingCap - at);
     std::memcpy(rg->data + at, p, first);
     std::memcpy(rg->data, p + first, n - first);
-    rg->tail += n;
+    // Release-publish the new tail: this is the receiver's doorbell. The
+    // lock-free acquire poll in recv() pairs with it; every other tail
+    // access stays under the control mutex.
+    __atomic_store_n(&rg->tail, rg->tail + n, __ATOMIC_RELEASE);
   }
   static void ring_get(ShmRing* rg, unsigned char* p, std::size_t n) {
     const std::size_t at = static_cast<std::size_t>(rg->head) % kRingCap;
@@ -685,6 +751,12 @@ private:
         std::memcpy(&len, hdr + 4, 8);
         cur.tag = t32;
         cur.remaining = len;
+        // Seed the frame buffer from the recycled pool (recv_into retires
+        // buffers there) so steady-state frames reuse warmed capacity.
+        if (cur.partial.capacity() == 0 && !spare_.empty()) {
+          cur.partial = std::move(spare_.back());
+          spare_.pop_back();
+        }
         cur.partial.clear();
         cur.partial.reserve(static_cast<std::size_t>(len));
         cur.have_hdr = true;
@@ -712,6 +784,20 @@ private:
       cur.partial = {};
       cur.have_hdr = false;
     }
+  }
+
+  void note_handle(int rank, bool completed, double overlap_seconds) override {
+    {
+      Locked lk(this);
+      ShmRankTraffic* t = traffic(rank);
+      if (completed) {
+        t->handles_completed += 1;
+        t->overlap_seconds += overlap_seconds;
+      } else {
+        t->handles_posted += 1;
+      }
+    }
+    Transport::note_handle(rank, completed, overlap_seconds);
   }
 
   /// Per-rank traffic + obs registry accounting for one completed op.
@@ -754,6 +840,8 @@ private:
   // unmatched frame queue that restores out-of-order tag matching.
   std::map<std::pair<int, int>, RingCursor> cursors_; // keyed (dst, src)
   std::map<PendKey, std::vector<std::vector<std::byte>>> pending_;
+  // Retired frame buffers recycled into drain cursors (capacity kept).
+  std::vector<std::vector<std::byte>> spare_;
 };
 
 } // namespace

@@ -9,16 +9,8 @@
 
 namespace mlmd::par {
 namespace detail {
-namespace {
 
-// Wall time since an arbitrary epoch, for wait accounting.
-double mono_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-} // namespace
+// Wait/overlap accounting uses the shared Transport::mono_seconds clock.
 
 GroupState::GroupState(int nranks)
     : nranks_(nranks), contrib_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)),
@@ -156,7 +148,15 @@ void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payl
   {
     std::lock_guard lk(mu_);
     throw_if_aborted_locked();
-    mailboxes_[{src, dst, tag}].emplace_back(payload.begin(), payload.end());
+    // Reuse a retired message buffer (recv_into recycles them) so the
+    // steady-state send -> recv_into loop performs zero heap allocations.
+    std::vector<std::byte> buf;
+    if (!pool_.empty()) {
+      buf = std::move(pool_.back());
+      pool_.pop_back();
+    }
+    buf.assign(payload.begin(), payload.end());
+    mailboxes_[{src, dst, tag}].push_back(std::move(buf));
   }
   {
     std::lock_guard sg(stats_mu_);
@@ -193,6 +193,109 @@ std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
   account(dst, "recv", payload.size());
   if (waited > 0.0) account_wait(dst, waited);
   return payload;
+}
+
+void GroupState::recv_into(int dst, int src, int tag,
+                           std::vector<std::byte>& out) {
+  auto payload = recv(dst, src, tag);
+  out.assign(payload.begin(), payload.end());
+  // Recycle the message buffer for a later send (capacity kept, bounded
+  // so a burst cannot pin memory forever).
+  std::lock_guard lk(mu_);
+  if (pool_.size() < 64) {
+    payload.clear();
+    pool_.push_back(std::move(payload));
+  }
+}
+
+CommHandle GroupState::iexchange(int rank, std::span<const std::byte> contrib,
+                                 int root, bool to_all, const char* op) {
+  // Post phase: everything exchange() does up to (and including) this
+  // rank's deposit — so peers can assemble and complete the collective
+  // while this rank computes. The closure below is exchange()'s back
+  // half, verbatim, so op order and accounting are identical.
+  ft::hook_comm(rank);
+  const auto r = static_cast<std::size_t>(rank);
+  double waited = 0.0;
+  std::uint64_t gen = 0;
+  {
+    std::unique_lock lk(mu_);
+    throw_if_aborted_locked();
+    if (deposited_[r]) {
+      const double w0 = mono_seconds();
+      cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
+      waited += mono_seconds() - w0;
+    }
+    throw_if_aborted_locked();
+
+    deposited_[r] = 1;
+    contrib_[r].assign(contrib.begin(), contrib.end());
+    ft::hook_payload(rank, std::span<std::byte>(contrib_[r]));
+    // The captured generation can advance at most once before the wait
+    // closure runs: the next round's deposits are gated on every rank
+    // consuming this one, and this rank consumes only in wait().
+    gen = collective_generation_;
+    if (++contrib_count_ == nranks_) {
+      assembled_.clear();
+      for (auto& c : contrib_) {
+        assembled_.insert(assembled_.end(), c.begin(), c.end());
+      }
+      consumed_count_ = 0;
+      ++collective_generation_;
+      cv_.notify_all();
+    }
+  }
+  if (waited > 0.0) account_wait(rank, waited);
+
+  const std::size_t nbytes = contrib.size();
+  return make_deferred(
+      rank, {},
+      [this, rank, root, to_all, op, gen, nbytes](CommHandle::State&) {
+        double w = 0.0;
+        std::vector<std::byte> result;
+        {
+          std::unique_lock lk(mu_);
+          if (!aborted_ && collective_generation_ == gen) {
+            const double w0 = mono_seconds();
+            cv_.wait(lk,
+                     [&] { return aborted_ || collective_generation_ != gen; });
+            w += mono_seconds() - w0;
+          }
+          throw_if_aborted_locked();
+
+          if (to_all || rank == root) result = assembled_;
+
+          {
+            std::lock_guard sg(stats_mu_);
+            stats_.collective_ops += 1;
+            stats_.collective_bytes += nbytes;
+          }
+
+          if (++consumed_count_ == nranks_) {
+            for (auto& c : contrib_) c.clear();
+            for (auto& d : deposited_) d = 0;
+            contrib_count_ = 0;
+            cv_.notify_all();
+          }
+        }
+        account(rank, op, nbytes);
+        if (w > 0.0) account_wait(rank, w);
+        return result;
+      });
+}
+
+void GroupState::note_handle(int rank, bool completed, double overlap_seconds) {
+  {
+    std::lock_guard sg(stats_mu_);
+    auto& rt = rank_traffic_[static_cast<std::size_t>(rank)];
+    if (completed) {
+      rt.handles_completed += 1;
+      rt.overlap_seconds += overlap_seconds;
+    } else {
+      rt.handles_posted += 1;
+    }
+  }
+  Transport::note_handle(rank, completed, overlap_seconds);
 }
 
 TrafficStats GroupState::stats() const {

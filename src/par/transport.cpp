@@ -1,10 +1,110 @@
 #include "mlmd/par/transport.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace mlmd::par {
+
+double Transport::mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::byte> CommHandle::wait() {
+  if (!st_) throw std::logic_error("CommHandle::wait: empty handle");
+  if (!st_->completed) {
+    // The post -> wait window is the comm time hidden behind compute;
+    // blocking from here on is ordinary wait time, accounted by the
+    // underlying op itself.
+    const double overlap = Transport::mono_seconds() - st_->posted_at;
+    if (st_->complete) st_->result = st_->complete(*st_);
+    // Completion side effects run exactly once; an exception above (e.g.
+    // abort poisoning) leaves the handle incomplete so the leak counters
+    // reflect the truncated run.
+    st_->complete = nullptr;
+    st_->completed = true;
+    st_->staged.clear();
+    if (st_->owner) st_->owner->note_handle(st_->rank, true, overlap);
+  }
+  return std::move(st_->result);
+}
+
+void Transport::note_handle(int /*rank*/, bool completed,
+                            double overlap_seconds) {
+  auto& reg = obs::Registry::global();
+  static auto& posted = reg.counter("simcomm.handles.posted");
+  static auto& done = reg.counter("simcomm.handles.completed");
+  static auto& overlap = reg.histogram("simcomm.overlap.seconds");
+  if (completed) {
+    done.add(1);
+    overlap.observe(overlap_seconds);
+  } else {
+    posted.add(1);
+  }
+}
+
+CommHandle Transport::make_completed(int rank) {
+  auto st = std::make_shared<CommHandle::State>();
+  st->owner = this;
+  st->rank = rank;
+  st->posted_at = mono_seconds();
+  note_handle(rank, false, 0.0);
+  // Already complete: the op finished at post (eager send). Record the
+  // completion immediately so posted == completed holds without a wait().
+  st->completed = true;
+  note_handle(rank, true, 0.0);
+  return CommHandle(std::move(st));
+}
+
+CommHandle Transport::make_deferred(
+    int rank, std::vector<std::byte> staged,
+    std::function<std::vector<std::byte>(CommHandle::State&)> complete) {
+  auto st = std::make_shared<CommHandle::State>();
+  st->owner = this;
+  st->rank = rank;
+  st->posted_at = mono_seconds();
+  st->staged = std::move(staged);
+  st->complete = std::move(complete);
+  note_handle(rank, false, 0.0);
+  return CommHandle(std::move(st));
+}
+
+void Transport::recv_into(int dst, int src, int tag,
+                          std::vector<std::byte>& out) {
+  auto payload = recv(dst, src, tag);
+  out.assign(payload.begin(), payload.end());
+}
+
+CommHandle Transport::isend(int src, int dst, int tag,
+                            std::span<const std::byte> payload) {
+  // Both backends buffer sends (mailbox / ring), so posting eagerly is
+  // already asynchronous with respect to the receiver: the payload is in
+  // flight when the handle returns.
+  send(src, dst, tag, payload);
+  return make_completed(src);
+}
+
+CommHandle Transport::irecv(int dst, int src, int tag) {
+  return make_deferred(dst, {}, [this, dst, src, tag](CommHandle::State&) {
+    return recv(dst, src, tag);
+  });
+}
+
+CommHandle Transport::iexchange(int rank, std::span<const std::byte> contrib,
+                                int root, bool to_all, const char* op) {
+  // Generic fallback: stage the contribution at post (the caller's span
+  // may dangle by wait time) and run the whole collective at wait().
+  // Backends with split-phase collectives override to deposit at post.
+  std::vector<std::byte> staged(contrib.begin(), contrib.end());
+  return make_deferred(rank, std::move(staged),
+                       [this, rank, root, to_all, op](CommHandle::State& st) {
+                         return exchange(rank, st.staged, root, to_all, op);
+                       });
+}
 
 void Transport::account_obs(const char* op, std::size_t bytes) {
   // Fast path: linear scan over the (tiny, append-only) cell table. Cells
@@ -83,5 +183,35 @@ TransportKind default_transport() { return default_transport_slot(); }
 void set_default_transport(TransportKind kind) {
   default_transport_slot() = kind;
 }
+
+CommMode parse_comm_mode(const std::string& name) {
+  for (const auto& [spelling, mode] : kCommModeChoices)
+    if (name == spelling) return mode;
+  throw std::invalid_argument("unknown comm mode '" + name +
+                              "' (expected sync|async)");
+}
+
+const char* comm_mode_name(CommMode mode) {
+  return mode == CommMode::kSync ? "sync" : "async";
+}
+
+namespace {
+
+CommMode env_default_comm_mode() {
+  if (const char* e = std::getenv("MLMD_COMM"); e && *e)
+    return parse_comm_mode(e);
+  return CommMode::kAsync;
+}
+
+CommMode& default_comm_mode_slot() {
+  static CommMode mode = env_default_comm_mode();
+  return mode;
+}
+
+} // namespace
+
+CommMode default_comm_mode() { return default_comm_mode_slot(); }
+
+void set_default_comm_mode(CommMode mode) { default_comm_mode_slot() = mode; }
 
 } // namespace mlmd::par

@@ -140,6 +140,21 @@ using RotateRowsFn = void (*)(std::complex<R>* u, std::complex<R>* v, R cs,
 template <class R>
 using PhaseRowFn = void (*)(std::complex<R>* row, R pr, R pi, std::size_t n);
 
+/// Zero-padded scale-copy panel packer (GEMM pack stage): for each of kc
+/// packed rows,
+///   dst[p*W + j] = alpha * src[p*ld + j]   for j in [0, w)
+///   dst[p*W + j] = 0                       for j in [w, W)
+/// with alpha == 1 lowered to a plain copy (so sNaN payloads survive
+/// packing bit-exactly, like the hand-written copy loops did). This is
+/// the contiguous-copy case of the GEMM packers: op(B) kN column
+/// micro-panels (alpha == 1) and op(A) kT/kC row micro-panels (alpha
+/// folded into the pack). A copy admits no reassociation and the scaled
+/// variant is one elementwise IEEE multiply, so packed panels are
+/// byte-identical across targets.
+template <class R>
+using PackPanelFn = void (*)(const R* src, std::size_t ld, std::size_t kc,
+                             R alpha, std::size_t w, std::size_t W, R* dst);
+
 /// BF16 pair-dot kernel with VDPBF16PS lane semantics: consume bf16
 /// element pairs into 16 FP32 lane accumulators, lane j accumulating
 ///   acc[j] += widen(a[32i+2j])*widen(b[32i+2j])
@@ -162,6 +177,8 @@ struct KernelTable {
   RotateRowsFn<double> rotate_d = nullptr;
   PhaseRowFn<float> phase_f = nullptr;
   PhaseRowFn<double> phase_d = nullptr;
+  PackPanelFn<float> pack_f = nullptr;
+  PackPanelFn<double> pack_d = nullptr;
   Bf16Dot16Fn bf16_dot16 = nullptr;  ///< null unless AVX512-BF16 usable
 };
 
@@ -209,5 +226,12 @@ template <>
 inline PhaseRowFn<float> phase_fn<float>() { return kernels().phase_f; }
 template <>
 inline PhaseRowFn<double> phase_fn<double>() { return kernels().phase_d; }
+
+template <class R>
+inline PackPanelFn<R> pack_fn();
+template <>
+inline PackPanelFn<float> pack_fn<float>() { return kernels().pack_f; }
+template <>
+inline PackPanelFn<double> pack_fn<double>() { return kernels().pack_d; }
 
 }  // namespace mlmd::simd

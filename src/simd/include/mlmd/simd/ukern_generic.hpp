@@ -84,4 +84,24 @@ void phase_row(std::complex<R>* __restrict__ row, R pr, R pi, std::size_t n) {
   }
 }
 
+/// Zero-padded scale-copy panel packer (PackPanelFn contract):
+///   dst[p*W + j] = alpha * src[p*ld + j]  (j < w),  0  (w <= j < W).
+/// alpha == 1 is a plain copy so packing never rewrites payload bits.
+template <class R>
+void pack_panel(const R* __restrict__ src, std::size_t ld, std::size_t kc,
+                R alpha, std::size_t w, std::size_t W, R* __restrict__ dst) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const R* s = src + p * ld;
+    R* d = dst + p * W;
+    if (alpha == R{1}) {
+#pragma omp simd
+      for (std::size_t j = 0; j < w; ++j) d[j] = s[j];
+    } else {
+#pragma omp simd
+      for (std::size_t j = 0; j < w; ++j) d[j] = alpha * s[j];
+    }
+    for (std::size_t j = w; j < W; ++j) d[j] = R{};
+  }
+}
+
 }  // namespace mlmd::simd::generic

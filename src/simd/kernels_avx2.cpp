@@ -65,6 +65,8 @@ const KernelTable kTable = {
     &rotate_rows_vec<V256d>,
     &phase_row_vec<V256f>,
     &phase_row_vec<V256d>,
+    &pack_panel_vec<V256f>,
+    &pack_panel_vec<V256d>,
     nullptr,  // bf16 pair-dot needs AVX512-BF16
 };
 

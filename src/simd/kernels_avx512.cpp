@@ -91,6 +91,8 @@ const KernelTable kTable = {
     &rotate_rows_vec<V512d>,
     &phase_row_vec<V512f>,
     &phase_row_vec<V512d>,
+    &pack_panel_vec<V512f>,
+    &pack_panel_vec<V512d>,
     kBf16Dot,
 };
 

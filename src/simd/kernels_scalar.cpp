@@ -24,6 +24,8 @@ const KernelTable kScalarTable = {
     &generic::rotate_rows<double>,
     &generic::phase_row<float>,
     &generic::phase_row<double>,
+    &generic::pack_panel<float>,
+    &generic::pack_panel<double>,
     nullptr,  // bf16_dot16: scalar emulation is routed by bf16_dot()
 };
 

@@ -178,4 +178,39 @@ void phase_row_vec(std::complex<typename V::scalar>* __restrict__ row,
   }
 }
 
+/// Zero-padded scale-copy panel packer (PackPanelFn contract, matches
+/// generic::pack_panel). Source rows live at arbitrary strides in the
+/// caller's matrix, destination rows at arbitrary micro-panel offsets,
+/// hence unaligned loads/stores throughout. alpha != 1 is one
+/// elementwise IEEE multiply per lane — no reduction, so bit-identity
+/// with the scalar reference needs no ordering argument; alpha == 1 is
+/// a pure copy (payload bits pass through untouched).
+template <class V>
+void pack_panel_vec(const typename V::scalar* __restrict__ src,
+                    std::size_t ld, std::size_t kc, typename V::scalar alpha,
+                    std::size_t w, std::size_t W,
+                    typename V::scalar* __restrict__ dst) {
+  using R = typename V::scalar;
+  using reg = typename V::reg;
+  const reg av = V::set1(alpha);
+  const reg zero = V::set1(R{});
+  const bool scale = alpha != R{1};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const R* s = src + p * ld;
+    R* d = dst + p * W;
+    std::size_t j = 0;
+    if (scale) {
+      for (; j + V::width <= w; j += V::width)
+        V::storeu(d + j, V::mul(av, V::loadu(s + j)));
+      for (; j < w; ++j) d[j] = alpha * s[j];
+    } else {
+      for (; j + V::width <= w; j += V::width)
+        V::storeu(d + j, V::loadu(s + j));
+      for (; j < w; ++j) d[j] = s[j];
+    }
+    for (; j + V::width <= W; j += V::width) V::storeu(d + j, zero);
+    for (; j < W; ++j) d[j] = R{};
+  }
+}
+
 }  // namespace mlmd::simd::detail

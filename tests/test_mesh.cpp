@@ -9,6 +9,7 @@
 #include "mlmd/mesh/baseline.hpp"
 #include "mlmd/mesh/dcmesh.hpp"
 #include "mlmd/mesh/multidomain.hpp"
+#include "mlmd/par/transport.hpp"
 
 namespace {
 
@@ -125,6 +126,43 @@ TEST(Multidomain, SingleRankWorks) {
   opt.mesh = fast_options();
   auto res = run_parallel_mesh(1, opt);
   ASSERT_EQ(res.n_exc_per_domain.size(), 1u);
+}
+
+TEST(Multidomain, AsyncCommBitIdenticalToSync) {
+  // --comm=async posts the current allgather before the A-independent
+  // half of the MD step and splits the step around the wait; the op
+  // order, payloads, and arithmetic are unchanged, so every gathered
+  // observable — and the metered traffic — must be bit-identical to the
+  // synchronous loop, not merely close.
+  ParallelMeshOptions opt;
+  opt.md_steps = 2;
+  opt.grid_n = 8;
+  opt.norb = 4;
+  opt.nfilled = 2;
+  opt.mesh = fast_options();
+  const par::CommMode saved = par::default_comm_mode();
+  par::set_default_comm_mode(par::CommMode::kSync);
+  auto s = run_parallel_mesh(3, opt);
+  par::set_default_comm_mode(par::CommMode::kAsync);
+  auto a = run_parallel_mesh(3, opt);
+  par::set_default_comm_mode(saved);
+  ASSERT_EQ(s.n_exc_per_domain.size(), a.n_exc_per_domain.size());
+  for (std::size_t i = 0; i < s.n_exc_per_domain.size(); ++i)
+    EXPECT_EQ(s.n_exc_per_domain[i], a.n_exc_per_domain[i]) << "domain " << i;
+  EXPECT_EQ(s.traffic.collective_bytes, a.traffic.collective_bytes);
+  ASSERT_EQ(s.rank_traffic.size(), a.rank_traffic.size());
+  for (std::size_t r = 0; r < s.rank_traffic.size(); ++r) {
+    unsigned long long sb = 0, ab = 0;
+    for (const auto& [op, st] : s.rank_traffic[r].ops) sb += st.bytes;
+    for (const auto& [op, st] : a.rank_traffic[r].ops) ab += st.bytes;
+    EXPECT_EQ(sb, ab) << "rank " << r;
+  }
+  // The async loop really went through the nonblocking path.
+  for (const auto& rt : a.rank_traffic) {
+    EXPECT_GT(rt.handles_posted, 0u);
+    EXPECT_EQ(rt.handles_posted, rt.handles_completed);
+  }
+  for (const auto& rt : s.rank_traffic) EXPECT_EQ(rt.handles_posted, 0u);
 }
 
 TEST(Multidomain, DeterministicAcrossRuns) {

@@ -11,6 +11,7 @@
 #include <complex>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -115,7 +116,66 @@ TEST(SimdDispatch, TileShapesArePositive) {
     EXPECT_NE(kt.rotate_d, nullptr);
     EXPECT_NE(kt.phase_f, nullptr);
     EXPECT_NE(kt.phase_d, nullptr);
+    EXPECT_NE(kt.pack_f, nullptr);
+    EXPECT_NE(kt.pack_d, nullptr);
   }
+}
+
+// ---- panel-packer bit-identity across targets ----------------------------
+//
+// PackPanelFn contract (simd.hpp): dst[p*W+j] = alpha*src[p*ld+j] for
+// j < w, zero for j in [w, W), alpha == 1 a plain copy. Swept over full
+// rows, vector tails, and zero-pad columns; every target must match the
+// scalar reference bytewise, and alpha == 1 must preserve payload bits
+// (checked with a NaN payload that a multiply could quiet or perturb).
+template <class R>
+void pack_panel_bitwise_across_targets() {
+  Rng rng(131);
+  // (ld, kc, w, W): full vectors, sub-vector tails, and heavy padding.
+  const std::size_t shapes[][4] = {
+      {40, 7, 32, 32}, {40, 7, 33, 40}, {17, 5, 3, 16}, {64, 1, 1, 8}};
+  for (const auto& s : shapes) {
+    const std::size_t ld = s[0], kc = s[1], w = s[2], W = s[3];
+    std::vector<R> src(ld * kc);
+    for (auto& v : src) v = static_cast<R>(rng.normal());
+    // A NaN payload in-column: alpha == 1 must pass its bits through.
+    src[w / 2] = std::numeric_limits<R>::quiet_NaN();
+    for (R alpha : {R{1}, static_cast<R>(-1.7)}) {
+      std::vector<R> ref(W * kc);
+      {
+        ScopedSimdTarget guard(simd::Target::kScalar);
+        std::memset(ref.data(), 0xab, ref.size() * sizeof(R));
+        simd::pack_fn<R>()(src.data(), ld, kc, alpha, w, W, ref.data());
+      }
+      // Scalar semantics check (including that the 0xab fill is gone
+      // from the zero-pad columns and the NaN survived alpha == 1).
+      for (std::size_t p = 0; p < kc; ++p)
+        for (std::size_t j = w; j < W; ++j) EXPECT_EQ(ref[p * W + j], R{});
+      if (alpha == R{1}) {
+        R got = ref[w / 2];
+        R want = src[w / 2];
+        EXPECT_EQ(std::memcmp(&got, &want, sizeof(R)), 0);
+      }
+      for (auto t : simd::supported_targets()) {
+        ScopedSimdTarget guard(t);
+        std::vector<R> dst(W * kc);
+        std::memset(dst.data(), 0xab, dst.size() * sizeof(R));
+        simd::pack_fn<R>()(src.data(), ld, kc, alpha, w, W, dst.data());
+        EXPECT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(R)),
+                  0)
+            << "target=" << simd::target_name(t) << " ld=" << ld
+            << " kc=" << kc << " w=" << w << " W=" << W
+            << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(SimdBitIdentity, PackPanelFloat) {
+  pack_panel_bitwise_across_targets<float>();
+}
+TEST(SimdBitIdentity, PackPanelDouble) {
+  pack_panel_bitwise_across_targets<double>();
 }
 
 // ---- GEMM bit-identity across targets -----------------------------------

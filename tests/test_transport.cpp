@@ -239,6 +239,152 @@ TEST_P(TransportConformance, TrafficStatsCountEveryOp) {
   EXPECT_EQ(st.collective_bytes, 16u); // two 8-byte allgather contributions
 }
 
+// --- nonblocking (--comm=async) conformance --------------------------------
+
+TEST_P(TransportConformance, NonblockingCompletesOutOfPostingOrder) {
+  int failures = 0;
+  std::mutex mu;
+  run_k(2, [&](Comm& c) {
+    bool ok = true;
+    if (c.rank() == 0) {
+      const std::array<int, 2> a{7, 70};
+      const std::array<int, 2> b{3, 30};
+      auto ha = c.isend(1, /*tag=*/7, std::span<const int>(a));
+      auto hb = c.isend(1, /*tag=*/3, std::span<const int>(b));
+      ha.wait();
+      hb.wait();
+    } else {
+      // Post both receives, then complete them in the opposite order of
+      // their posting: handles are independent and tag-matched, so the
+      // tag-7 frame must sit buffered while the tag-3 handle completes.
+      auto h7 = c.irecv(0, 7);
+      auto h3 = c.irecv(0, 3);
+      auto b = c.wait<int>(h3);
+      auto a = c.wait<int>(h7);
+      ok = b == std::vector<int>{3, 30} && a == std::vector<int>{7, 70};
+    }
+    count_rank_failures(c, ok, &failures, &mu);
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(TransportConformance, ConcurrentHandlesMatchTagsExactly) {
+  // A burst of in-flight isend/irecv pairs per direction, completed in
+  // reverse posting order: every payload must land on the handle whose
+  // tag it carries, never on the earliest-posted one.
+  constexpr int kMsgs = 8;
+  int failures = 0;
+  std::mutex mu;
+  run_k(2, [&](Comm& c) {
+    const int peer = 1 - c.rank();
+    std::vector<std::vector<int>> payloads(kMsgs);
+    std::vector<CommHandle> sends, recvs;
+    for (int t = 0; t < kMsgs; ++t) {
+      payloads[static_cast<std::size_t>(t)]
+          .assign(static_cast<std::size_t>(16 + t), c.rank() * 100 + t);
+      sends.push_back(c.isend(
+          peer, t,
+          std::span<const int>(payloads[static_cast<std::size_t>(t)])));
+      recvs.push_back(c.irecv(peer, t));
+    }
+    bool ok = true;
+    for (int t = kMsgs - 1; t >= 0; --t) {
+      auto got = c.wait<int>(recvs[static_cast<std::size_t>(t)]);
+      ok = ok && got == std::vector<int>(static_cast<std::size_t>(16 + t),
+                                         peer * 100 + t);
+    }
+    for (auto& h : sends) h.wait();
+    count_rank_failures(c, ok, &failures, &mu);
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(TransportConformance, SplitPhaseAllgathervMatchesBlocking) {
+  int failures = 0;
+  std::mutex mu;
+  run_k(3, [&](Comm& c) {
+    // Same body as AllgathervConcatenatesRankOrdered, but split-phase:
+    // the contribution is deposited at post, deterministic "interior"
+    // compute runs while peers assemble, wait() returns the full result.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    auto h = c.iallgatherv(std::span<const int>(mine));
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) acc += std::sqrt(static_cast<double>(i));
+    auto all = c.wait<int>(h);
+    const bool ok = all == std::vector<int>{0, 1, 1, 2, 2, 2} && acc > 0.0;
+    count_rank_failures(c, ok, &failures, &mu);
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(TransportConformance, WaitAfterAbortSurfacesOriginError) {
+  // Rank 1 dies before ever sending; rank 0's wait() on the pending
+  // irecv must be released by the abort poison, and the caller sees the
+  // origin error type and message — same taxonomy as the blocking path.
+  try {
+    run_k(2, [](Comm& c) {
+      if (c.rank() == 1) throw std::runtime_error("origin failure");
+      auto h = c.irecv(1, 0);
+      auto x = c.wait<double>(h); // blocks until poisoned
+      (void)x;
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "origin failure");
+  }
+}
+
+TEST_P(TransportConformance, HandleAccountsBalanceAndMatchBlockingOps) {
+  int failures = 0;
+  std::mutex mu;
+  run_k(2, [&](Comm& c) {
+    const int peer = 1 - c.rank();
+    const std::array<double, 8> halo{1, 2, 3, 4, 5, 6, 7, 8};
+    auto hs = c.isend(peer, 1, std::span<const double>(halo));
+    auto hr = c.irecv(peer, 1);
+    std::vector<double> got;
+    c.wait_into(hr, got);
+    hs.wait();
+    const RankTraffic mine = c.rank_traffic();
+    // Handle-leak invariant plus accounting parity: the nonblocking pair
+    // meters the same op names and bytes as its blocking twins.
+    bool ok = mine.handles_posted == 2 && mine.handles_completed == 2 &&
+              mine.overlap_seconds >= 0.0;
+    auto it_s = mine.ops.find("send");
+    auto it_r = mine.ops.find("recv");
+    ok = ok && it_s != mine.ops.end() && it_s->second.bytes == 64 &&
+         it_s->second.calls == 1;
+    ok = ok && it_r != mine.ops.end() && it_r->second.bytes == 64 &&
+         it_r->second.calls == 1;
+    ok = ok && got == std::vector<double>(halo.begin(), halo.end());
+    count_rank_failures(c, ok, &failures, &mu);
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(TransportConformance, RecvIntoReusesBufferAndSendrecvMatches) {
+  int failures = 0;
+  std::mutex mu;
+  run_k(2, [&](Comm& c) {
+    const int peer = 1 - c.rank();
+    std::vector<double> out;
+    out.reserve(8);
+    const double* cap = out.data();
+    bool ok = true;
+    for (int s = 0; s < 4; ++s) {
+      std::array<double, 8> halo{};
+      halo.fill(static_cast<double>(c.rank() * 10 + s));
+      c.sendrecv_into(peer, std::span<const double>(halo), peer, s, out);
+      ok = ok && out.size() == 8 &&
+           out.front() == static_cast<double>(peer * 10 + s);
+      // The typed destination buffer must keep its storage once warm.
+      ok = ok && out.data() == cap;
+    }
+    count_rank_failures(c, ok, &failures, &mu);
+  });
+  EXPECT_EQ(failures, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          ::testing::Values(TransportKind::kInproc,
                                            TransportKind::kShm),
@@ -337,6 +483,14 @@ TEST(TransportSelect, ParseAcceptsAliasesAndRejectsGarbage) {
   EXPECT_THROW(parse_transport("mpi"), std::invalid_argument);
   EXPECT_STREQ(transport_name(TransportKind::kInproc), "inproc");
   EXPECT_STREQ(transport_name(TransportKind::kShm), "shm");
+}
+
+TEST(TransportSelect, CommModeParseAcceptsNamesAndRejectsGarbage) {
+  EXPECT_EQ(parse_comm_mode("sync"), CommMode::kSync);
+  EXPECT_EQ(parse_comm_mode("async"), CommMode::kAsync);
+  EXPECT_THROW(parse_comm_mode("lazy"), std::invalid_argument);
+  EXPECT_STREQ(comm_mode_name(CommMode::kSync), "sync");
+  EXPECT_STREQ(comm_mode_name(CommMode::kAsync), "async");
 }
 
 } // namespace
