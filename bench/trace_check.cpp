@@ -401,13 +401,71 @@ int check_bench(const Value& root) {
     have_ft = true;
   }
 
-  std::printf("trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s%s%s\n",
-              static_cast<int>(ver->num), recs->arr.size(),
-              simd_target.empty() ? "" : ", simd ", simd_target.c_str(),
-              transport.empty() ? "" : ", transport ",
-              transport.c_str(),
-              comm_mode.empty() ? "" : ", comm ", comm_mode.c_str(),
-              have_ft ? ", ft block present" : "");
+  // Optional serving-load block (DESIGN.md Sec. 14): numeric throughput /
+  // latency / occupancy fields, a known mode tag, and ordered latency
+  // percentiles (p50 <= p95 <= p99 — a broken quantile estimator or a
+  // mislabeled lane fails loudly here).
+  bool have_serve = false;
+  if (root.obj.count("serve")) {
+    const Value* sv = field(root, "serve", Value::Kind::kObject);
+    if (!sv) {
+      std::fprintf(stderr, "trace_check: \"serve\" is not an object\n");
+      return 1;
+    }
+    const Value* mode = field(*sv, "mode", Value::Kind::kString);
+    if (!mode || (mode->str != "closed" && mode->str != "open")) {
+      std::fprintf(stderr,
+                   "trace_check: serve.mode must be \"closed\" or \"open\"\n");
+      return 1;
+    }
+    static const char* serve_keys[] = {
+        "tenants",        "sessions",     "offered_rps",
+        "sustained_rps",  "sustained_rps_batch1",
+        "batch_speedup",  "latency_p50_s", "latency_p95_s",
+        "latency_p99_s",  "batch_occupancy_mean",
+        "completed",      "rejected"};
+    for (const char* k : serve_keys) {
+      const Value* v = field(*sv, k, Value::Kind::kNumber);
+      if (!v) {
+        std::fprintf(stderr, "trace_check: serve block lacks numeric %s\n", k);
+        return 1;
+      }
+      if (v->num < 0.0) {
+        std::fprintf(stderr, "trace_check: serve.%s is negative\n", k);
+        return 1;
+      }
+    }
+    const double p50 = field(*sv, "latency_p50_s", Value::Kind::kNumber)->num;
+    const double p95 = field(*sv, "latency_p95_s", Value::Kind::kNumber)->num;
+    const double p99 = field(*sv, "latency_p99_s", Value::Kind::kNumber)->num;
+    if (p50 > p95 || p95 > p99) {
+      std::fprintf(stderr,
+                   "trace_check: serve latency percentiles out of order "
+                   "(p50 %g, p95 %g, p99 %g)\n",
+                   p50, p95, p99);
+      return 1;
+    }
+    const double sessions = field(*sv, "sessions", Value::Kind::kNumber)->num;
+    const double completed = field(*sv, "completed",
+                                   Value::Kind::kNumber)->num;
+    if (completed > sessions) {
+      std::fprintf(stderr,
+                   "trace_check: serve.completed (%g) exceeds "
+                   "serve.sessions (%g)\n",
+                   completed, sessions);
+      return 1;
+    }
+    have_serve = true;
+  }
+
+  std::printf(
+      "trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s%s%s%s\n",
+      static_cast<int>(ver->num), recs->arr.size(),
+      simd_target.empty() ? "" : ", simd ", simd_target.c_str(),
+      transport.empty() ? "" : ", transport ", transport.c_str(),
+      comm_mode.empty() ? "" : ", comm ", comm_mode.c_str(),
+      have_ft ? ", ft block present" : "",
+      have_serve ? ", serve block present" : "");
   return 0;
 }
 

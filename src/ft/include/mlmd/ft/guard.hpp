@@ -96,6 +96,17 @@ struct RetryOptions {
   double backoff_multiplier = 2.0;
 };
 
+/// Injectable backoff clock. with_retry sleeps through backoff_sleep(),
+/// which forwards to the installed function — by default a real
+/// std::this_thread::sleep_for. Tests (and the serve retry path) install a
+/// recording no-op so exponential-backoff schedules are asserted without
+/// wall-clock sleeps. set_backoff_sleep(nullptr) restores the real sleep
+/// and returns the previously installed function (nullptr if it was the
+/// default). The hook is process-global and atomic, like the fault hooks.
+using BackoffSleepFn = void (*)(double seconds);
+BackoffSleepFn set_backoff_sleep(BackoffSleepFn fn);
+void backoff_sleep(double seconds);
+
 /// Run `fn`, retrying on TransientError up to max_attempts with
 /// exponential backoff. Counts ft.retry.attempts per retry and
 /// ft.faults.recovered when a retry succeeds; rethrows the last
@@ -125,7 +136,7 @@ auto with_retry(F&& fn, const RetryOptions& opt = {})
       if (attempt >= opt.max_attempts) throw;
       attempts.add(1);
       if (backoff > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff_sleep(backoff);
         backoff *= opt.backoff_multiplier;
       }
     }

@@ -190,6 +190,42 @@ double LatticeModel::energy(const ferro::FerroLattice& lat) const {
   return e;
 }
 
+namespace {
+
+/// Accumulate -dE/du into `f` for the cells [c0, c1) of one lattice,
+/// reading their input gradients from dedg rows row0, row0+1, ... — the
+/// one scatter loop shared by the single-lattice and cross-lattice force
+/// paths, so both produce the identical FP accumulation order (cells
+/// strictly ascending).
+void scatter_lattice_forces(const ferro::FerroLattice& lat,
+                            const la::Matrix<double>& dedg, std::size_t row0,
+                            std::size_t c0, std::size_t c1,
+                            std::vector<ferro::Vec3>& f) {
+  const std::size_t lx = lat.lx(), ly = lat.ly();
+  for (std::size_t c = c0; c < c1; ++c) {
+    const std::size_t x = c / ly, y = c % ly;
+    const std::size_t xp = (x + 1) % lx, xm = (x + lx - 1) % lx;
+    const std::size_t yp = (y + 1) % ly, ym = (y + ly - 1) % ly;
+    const double* gi = dedg.row(row0 + (c - c0));
+    const auto& ui = lat.u(x, y);
+    // Feature layout (descriptor.cpp): [u_i (3), |u_i|^2, u_xp (3),
+    // u_xm (3), u_yp (3), u_ym (3)].
+    auto& fi = f[lat.index(x, y)];
+    for (int k = 0; k < 3; ++k)
+      fi[static_cast<std::size_t>(k)] -=
+          gi[static_cast<std::size_t>(k)] +
+          2.0 * gi[3] * ui[static_cast<std::size_t>(k)];
+    const std::size_t nbr[4] = {lat.index(xp, y), lat.index(xm, y),
+                                lat.index(x, yp), lat.index(x, ym)};
+    for (int nbi = 0; nbi < 4; ++nbi)
+      for (int k = 0; k < 3; ++k)
+        f[nbr[nbi]][static_cast<std::size_t>(k)] -=
+            gi[4 + static_cast<std::size_t>(nbi) * 3 + static_cast<std::size_t>(k)];
+  }
+}
+
+} // namespace
+
 std::vector<ferro::Vec3> LatticeModel::forces(const ferro::FerroLattice& lat) const {
   const std::size_t lx = lat.lx(), ly = lat.ly();
   std::vector<ferro::Vec3> f(lx * ly, ferro::Vec3{0, 0, 0});
@@ -204,25 +240,52 @@ std::vector<ferro::Vec3> LatticeModel::forces(const ferro::FerroLattice& lat) co
       std::copy(feat.begin(), feat.end(), feats.row(c - c0));
     }
     net_.grad_input_batch(feats, dedg);
-    for (std::size_t c = c0; c < c1; ++c) {
-      const std::size_t x = c / ly, y = c % ly;
-      const std::size_t xp = (x + 1) % lx, xm = (x + lx - 1) % lx;
-      const std::size_t yp = (y + 1) % ly, ym = (y + ly - 1) % ly;
-      const double* gi = dedg.row(c - c0);
-      const auto& ui = lat.u(x, y);
-      // Feature layout (descriptor.cpp): [u_i (3), |u_i|^2, u_xp (3),
-      // u_xm (3), u_yp (3), u_ym (3)].
-      auto& fi = f[lat.index(x, y)];
-      for (int k = 0; k < 3; ++k)
-        fi[static_cast<std::size_t>(k)] -=
-            gi[static_cast<std::size_t>(k)] +
-            2.0 * gi[3] * ui[static_cast<std::size_t>(k)];
-      const std::size_t nbr[4] = {lat.index(xp, y), lat.index(xm, y),
-                                  lat.index(x, yp), lat.index(x, ym)};
-      for (int nbi = 0; nbi < 4; ++nbi)
-        for (int k = 0; k < 3; ++k)
-          f[nbr[nbi]][static_cast<std::size_t>(k)] -=
-              gi[4 + static_cast<std::size_t>(nbi) * 3 + static_cast<std::size_t>(k)];
+    scatter_lattice_forces(lat, dedg, 0, c0, c1, f);
+  }
+  return f;
+}
+
+std::vector<std::vector<ferro::Vec3>> forces_multi(
+    const LatticeModel& model,
+    const std::vector<const ferro::FerroLattice*>& lats) {
+  const std::size_t n = lats.size();
+  // Prefix offsets of each lattice's cells in the concatenated stream.
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    offset[i + 1] = offset[i] + lats[i]->ncells();
+  const std::size_t total = offset[n];
+
+  std::vector<std::vector<ferro::Vec3>> f(n);
+  for (std::size_t i = 0; i < n; ++i)
+    f[i].assign(lats[i]->ncells(), ferro::Vec3{0, 0, 0});
+
+  std::vector<double> feat;
+  la::Matrix<double> feats, dedg;
+  std::size_t li = 0; // lattice holding the next cell to scatter
+  for (std::size_t g0 = 0; g0 < total; g0 += kCellBlock) {
+    const std::size_t g1 = std::min(g0 + kCellBlock, total);
+    feats.resize(g1 - g0, kLatticeFeatures);
+    {
+      std::size_t lj = li;
+      for (std::size_t g = g0; g < g1; ++g) {
+        while (g >= offset[lj + 1]) ++lj;
+        const auto& lat = *lats[lj];
+        const std::size_t c = g - offset[lj];
+        lattice_features(lat, c / lat.ly(), c % lat.ly(), feat);
+        std::copy(feat.begin(), feat.end(), feats.row(g - g0));
+      }
+    }
+    // One batched gradient pass over every scenario's cells in the block.
+    model.net().grad_input_batch(feats, dedg);
+    // A block may straddle lattice boundaries: scatter each sub-range.
+    std::size_t g = g0;
+    while (g < g1) {
+      while (g >= offset[li + 1]) ++li;
+      const std::size_t c0 = g - offset[li];
+      const std::size_t gend = std::min(g1, offset[li + 1]);
+      scatter_lattice_forces(*lats[li], dedg, g - g0, c0, c0 + (gend - g),
+                             f[li]);
+      g = gend;
     }
   }
   return f;
@@ -245,6 +308,25 @@ std::vector<ferro::Vec3> xs_mixed_forces(const LatticeModel& gs,
       fg[i][static_cast<std::size_t>(k)] =
           (1.0 - w) * fg[i][static_cast<std::size_t>(k)] +
           w * fx[i][static_cast<std::size_t>(k)];
+  return fg;
+}
+
+std::vector<std::vector<ferro::Vec3>> xs_mixed_forces_multi(
+    const LatticeModel& gs, const LatticeModel& xs,
+    const std::vector<const ferro::FerroLattice*>& lats,
+    const std::vector<double>& n_exc, const std::vector<double>& n_sat) {
+  if (n_exc.size() != lats.size() || n_sat.size() != lats.size())
+    throw std::invalid_argument("xs_mixed_forces_multi: size mismatch");
+  auto fg = forces_multi(gs, lats);
+  auto fx = forces_multi(xs, lats);
+  for (std::size_t s = 0; s < lats.size(); ++s) {
+    const double w = excitation_weight(n_exc[s], n_sat[s]);
+    for (std::size_t i = 0; i < fg[s].size(); ++i)
+      for (int k = 0; k < 3; ++k)
+        fg[s][i][static_cast<std::size_t>(k)] =
+            (1.0 - w) * fg[s][i][static_cast<std::size_t>(k)] +
+            w * fx[s][i][static_cast<std::size_t>(k)];
+  }
   return fg;
 }
 

@@ -99,6 +99,31 @@ std::vector<ferro::Vec3> xs_mixed_forces(const LatticeModel& gs,
                                          const ferro::FerroLattice& lat,
                                          double n_exc, double n_sat);
 
+// --- cross-lattice batched inference ----------------------------------------
+//
+// The mlmd::serve micro-batcher's substrate: the cells of many lattices
+// (one per concurrent scenario) are concatenated into one feature stream
+// and pushed through Mlp::grad_input_batch in shared kCellBlock GEMM
+// batches. Because every batched Mlp pass is bitwise-identical per row to
+// the scalar pass (mlp.hpp contract, asserted in test_nnq), the per-cell
+// gradients — and therefore the scattered forces — do not depend on which
+// lattices share a batch: forces_multi(model, {&a, &b})[0] is
+// byte-identical to model.forces(a). Asserted in test_serve.
+
+/// Per-lattice forces for every lattice, evaluated through shared
+/// inference batches. Bitwise-identical to model.forces(*lats[i]) per i.
+std::vector<std::vector<ferro::Vec3>> forces_multi(
+    const LatticeModel& model,
+    const std::vector<const ferro::FerroLattice*>& lats);
+
+/// Batched Eq. (4) across scenarios: element i mixes with the weight
+/// derived from (n_exc[i], n_sat[i]). Bitwise-identical per element to
+/// xs_mixed_forces(gs, xs, *lats[i], n_exc[i], n_sat[i]).
+std::vector<std::vector<ferro::Vec3>> xs_mixed_forces_multi(
+    const LatticeModel& gs, const LatticeModel& xs,
+    const std::vector<const ferro::FerroLattice*>& lats,
+    const std::vector<double>& n_exc, const std::vector<double>& n_sat);
+
 /// Excitation weight used by xs_mixed_forces.
 double excitation_weight(double n_exc, double n_sat);
 

@@ -52,15 +52,24 @@ private:
 };
 
 /// Streaming count/sum/min/max of double samples (span seconds, queue
-/// wait, payload sizes). No buckets: the benches and reports need totals
-/// and extremes, not quantiles.
+/// wait, payload sizes), plus fixed log-scale buckets for quantile
+/// estimates (serve latency lanes need p50/p95/p99). Buckets are 4
+/// sub-buckets per power of two across 64 octaves (2^-40 .. 2^24, so
+/// ~1e-12 s to ~2e7 s at ≤ 19% relative width); samples outside the range
+/// clamp to the edge buckets, non-positive samples land in bucket 0.
 class Histogram {
 public:
+  static constexpr int kSubBuckets = 4;   ///< per octave
+  static constexpr int kOctaves = 64;
+  static constexpr int kMinExp = -40;     ///< frexp exponent of bucket 0
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
   void observe(double x) {
     count_.fetch_add(1, std::memory_order_relaxed);
     add_double(sum_, x);
     update_min(x);
     update_max(x);
+    buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
   }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -70,10 +79,20 @@ public:
     const auto n = count();
     return n ? sum() / static_cast<double>(n) : 0.0;
   }
+  /// Quantile estimate (q in [0, 1]) from the log buckets: the upper edge
+  /// of the bucket holding the q-th ranked sample, clamped to the observed
+  /// [min, max] (so the relative error is bounded by the ≤ 19% bucket
+  /// width, and exact at the extremes). Returns 0 with no samples.
+  /// Computed over locally observe()d samples only — merge() does not
+  /// carry buckets, so cross-process merged quantiles reflect in-process
+  /// samples.
+  double quantile(double q) const;
+
   /// Fold another histogram's (count, sum, min, max) into this one —
   /// the join-side half of per-process registry merging (shm transport):
   /// counts and sums add, extremes combine. A merge with count 0 still
   /// folds min/max only if they are real observations (min <= max).
+  /// Buckets are not merged: quantile() keeps reporting local samples.
   void merge(std::uint64_t count, double sum, double min, double max) {
     if (count) {
       count_.fetch_add(count, std::memory_order_relaxed);
@@ -104,11 +123,14 @@ private:
            !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
     }
   }
+  static int bucket_index(double x);
+  static double bucket_upper(int idx);
 
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{1e300};
   std::atomic<double> max_{-1e300};
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
 };
 
 /// Process-global instrument registry.

@@ -1,6 +1,8 @@
 #include "mlmd/obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -34,6 +36,51 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(1e300, std::memory_order_relaxed);
   max_.store(-1e300, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::bucket_index(double x) {
+  if (!(x > 0.0) || !std::isfinite(x)) return x > 0.0 ? kBuckets - 1 : 0;
+  int e = 0;
+  const double m = std::frexp(x, &e); // m in [0.5, 1), x = m * 2^e
+  const int oct = e - 1 - kMinExp;    // octave [2^(e-1), 2^e) relative to min
+  if (oct < 0) return 0;
+  if (oct >= kOctaves) return kBuckets - 1;
+  // Mantissa quarters on the log scale: 2^{-1,-3/4,-1/2,-1/4}.
+  int sub = 0;
+  if (m >= 0.5946035575013605) sub = 1;   // 2^(-3/4)
+  if (m >= 0.7071067811865476) sub = 2;   // 2^(-1/2)
+  if (m >= 0.8408964152537145) sub = 3;   // 2^(-1/4)
+  return oct * kSubBuckets + sub;
+}
+
+double Histogram::bucket_upper(int idx) {
+  static const double ub[kSubBuckets] = {0.5946035575013605,
+                                         0.7071067811865476,
+                                         0.8408964152537145, 1.0};
+  return std::ldexp(ub[idx % kSubBuckets], idx / kSubBuckets + 1 + kMinExp);
+}
+
+double Histogram::quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  std::uint64_t n = 0;
+  std::uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return 0.0;
+  // Rank of the q-th sample, 1-based; q=0 -> first, q=1 -> last.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank)
+      return std::min(max(), std::max(min(), bucket_upper(i)));
+  }
+  return max();
 }
 
 Registry& Registry::global() {

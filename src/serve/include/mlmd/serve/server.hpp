@@ -1,0 +1,121 @@
+#pragma once
+// The mlmd::serve scheduler (DESIGN.md Sec. 14): queue -> batcher ->
+// Sessions -> ThreadPool. A single scheduler thread owns every active
+// pipeline::Session and advances each by one stage-3 step per round,
+// admitting queued requests up to max_inflight as slots free. Parallelism
+// is per-step, inside the force kernels (the global par::ThreadPool the
+// GEMMs fan out on): interleaving at step granularity keeps results
+// bitwise-identical to dedicated runs while the batcher keeps the
+// inference GEMMs full across tenants.
+//
+// Warm restart: with checkpoint_dir set, every session checkpoints to
+// <dir>/session-<id>.ckpt (checkpoint_every steps); activating a request
+// whose checkpoint file already exists resumes from it instead of
+// rerunning stages 1-2. A daemon killed mid-load therefore resumes all
+// in-flight scenarios on the next start, bit-identical (asserted by the
+// warm-restart tests). kill_at_round deterministically SIGKILLs the
+// process at a chosen scheduler round so tests exercise that path without
+// timing races.
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mlmd/serve/batcher.hpp"
+#include "mlmd/serve/queue.hpp"
+
+namespace mlmd::serve {
+
+/// Name -> shared model weights. The server owns registered models;
+/// requests reference them by name, so one copy of the weights serves
+/// every tenant and outlives every queued scenario.
+class ModelRegistry {
+ public:
+  void add(std::string name, std::shared_ptr<const nnq::LatticeModel> m);
+  /// nullptr when unknown.
+  std::shared_ptr<const nnq::LatticeModel> get(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const nnq::LatticeModel>,
+           std::less<>>
+      models_;
+};
+
+struct ServerOptions {
+  std::size_t queue_capacity = 64;
+  std::size_t tenant_quota = 0;  ///< queued+in-flight cap per tenant (0=off)
+  std::size_t max_inflight = 8;  ///< concurrently active sessions
+  std::size_t batch_max = 8;     ///< sessions per fused inference batch
+  bool batch = true;             ///< false: per-session force evaluation
+  bool verify_batching = false;  ///< memcmp batched vs unbatched forces
+  std::string checkpoint_dir;    ///< non-empty: warm-restart checkpoints
+  int checkpoint_every = 10;     ///< steps between session checkpoints
+  long kill_at_round = 0;        ///< test hook: SIGKILL at round N (0=off)
+};
+
+/// Terminal state of one scenario.
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  pipeline::PipelineResult result;
+};
+
+class Server {
+ public:
+  Server(ServerOptions opt, std::shared_ptr<ModelRegistry> models);
+  ~Server(); ///< stop()s if still running
+
+  void start();
+  /// Stop accepting, drain everything already accepted, join.
+  void stop();
+
+  /// Admission-controlled submit; synchronous Ticket (see queue.hpp).
+  Ticket submit(Request req);
+
+  /// Block until scenario `id` reaches a terminal state. Unknown ids
+  /// return an error Outcome immediately.
+  Outcome wait(long id);
+  /// Block until no queued or active scenarios remain.
+  void wait_all();
+
+  struct Stats {
+    long completed = 0, failed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Active {
+    long id = 0;
+    int tenant = 0;
+    std::unique_ptr<pipeline::Session> session;
+    std::uint64_t t_submit_ns = 0;
+  };
+
+  void scheduler_loop();
+  bool activate(Request req);
+  void complete(Active& a, Outcome out);
+
+  ServerOptions opt_;
+  std::shared_ptr<ModelRegistry> models_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< scheduler: work arrived / stop
+  std::condition_variable cv_done_;  ///< waiters: an outcome landed
+  std::map<long, Outcome> outcomes_;
+  std::map<long, std::uint64_t> submitted_; ///< id -> submit mono ns
+  std::vector<Active> active_;              ///< scheduler-thread only
+  long pending_ = 0; ///< accepted, not yet terminal
+  Stats stats_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+} // namespace mlmd::serve

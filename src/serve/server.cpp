@@ -1,0 +1,271 @@
+#include "mlmd/serve/server.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "mlmd/obs/metrics.hpp"
+
+namespace mlmd::serve {
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string ckpt_path(const std::string& dir, long id) {
+  return dir + "/session-" + std::to_string(id) + ".ckpt";
+}
+
+} // namespace
+
+void ModelRegistry::add(std::string name,
+                        std::shared_ptr<const nnq::LatticeModel> m) {
+  std::lock_guard lk(mu_);
+  models_[std::move(name)] = std::move(m);
+}
+
+std::shared_ptr<const nnq::LatticeModel> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+Server::Server(ServerOptions opt, std::shared_ptr<ModelRegistry> models)
+    : opt_(opt),
+      models_(std::move(models)),
+      queue_(opt.queue_capacity, opt.tenant_quota),
+      batcher_(opt.batch_max, opt.verify_batching) {
+  if (!models_) models_ = std::make_shared<ModelRegistry>();
+  if (!opt_.checkpoint_dir.empty())
+    std::filesystem::create_directories(opt_.checkpoint_dir);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { scheduler_loop(); });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_.stop();
+  cv_work_.notify_all();
+  thread_.join();
+  std::lock_guard lk(mu_);
+  running_ = false;
+}
+
+Ticket Server::submit(Request req) {
+  const long id = req.id;
+  {
+    // Stamp before push: the scheduler may pop (and need the submit time)
+    // the instant the request is queued.
+    std::lock_guard lk(mu_);
+    submitted_[id] = mono_ns();
+    ++pending_;
+  }
+  Ticket t = queue_.push(std::move(req));
+  if (!t.accepted) {
+    std::lock_guard lk(mu_);
+    submitted_.erase(id);
+    --pending_;
+    cv_done_.notify_all();
+  } else {
+    cv_work_.notify_one();
+  }
+  return t;
+}
+
+Outcome Server::wait(long id) {
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return outcomes_.count(id) != 0 || submitted_.count(id) == 0;
+  });
+  auto it = outcomes_.find(id);
+  if (it != outcomes_.end()) return it->second;
+  Outcome o;
+  o.error = "unknown id " + std::to_string(id);
+  return o;
+}
+
+void Server::wait_all() {
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void Server::complete(Active& a, Outcome out) {
+  // The scenario is terminal: its warm-restart checkpoint is obsolete.
+  if (!opt_.checkpoint_dir.empty())
+    std::remove(ckpt_path(opt_.checkpoint_dir, a.id).c_str());
+  queue_.on_done(a.tenant);
+
+  auto& reg = obs::Registry::global();
+  if (a.t_submit_ns) {
+    const double lat = static_cast<double>(mono_ns() - a.t_submit_ns) * 1e-9;
+    reg.histogram("serve.latency_seconds").observe(lat);
+    reg.histogram("serve.latency_seconds.t" + std::to_string(a.tenant))
+        .observe(lat);
+  }
+  reg.counter(out.ok ? "serve.completed" : "serve.failed").add(1);
+
+  std::lock_guard lk(mu_);
+  if (out.ok)
+    ++stats_.completed;
+  else
+    ++stats_.failed;
+  outcomes_[a.id] = std::move(out);
+  --pending_;
+  cv_done_.notify_all();
+}
+
+bool Server::activate(Request req) {
+  Active a;
+  a.id = req.id;
+  a.tenant = req.tenant;
+  {
+    std::lock_guard lk(mu_);
+    auto it = submitted_.find(req.id);
+    a.t_submit_ns = it == submitted_.end() ? 0 : it->second;
+  }
+  try {
+    if (!req.gs_model.empty()) {
+      auto m = models_->get(req.gs_model);
+      if (!m)
+        throw std::invalid_argument("unknown model '" + req.gs_model + "'");
+      req.opt.gs_model = std::move(m);
+    }
+    if (!req.xs_model.empty()) {
+      auto m = models_->get(req.xs_model);
+      if (!m)
+        throw std::invalid_argument("unknown model '" + req.xs_model + "'");
+      req.opt.xs_model = std::move(m);
+    }
+    if (!opt_.checkpoint_dir.empty()) {
+      const std::string ck = ckpt_path(opt_.checkpoint_dir, req.id);
+      req.opt.checkpoint_path = ck;
+      if (req.opt.checkpoint_every <= 0)
+        req.opt.checkpoint_every = opt_.checkpoint_every;
+      // Warm restart: a checkpoint left by a killed predecessor resumes
+      // the scenario instead of rerunning stages 1-2.
+      if (std::filesystem::exists(ck)) req.opt.restore_path = ck;
+    }
+    a.session =
+        std::make_unique<pipeline::Session>(std::move(req.opt), req.dark);
+    a.session->prepare();
+  } catch (const std::exception& e) {
+    Outcome out;
+    out.error = e.what();
+    complete(a, std::move(out));
+    return false;
+  }
+  active_.push_back(std::move(a));
+  return true;
+}
+
+void Server::scheduler_loop() {
+  auto& reg = obs::Registry::global();
+  auto& active_gauge = reg.gauge("serve.active_sessions");
+  long round = 0;
+
+  for (;;) {
+    // Admit queued requests into free slots (tenant round-robin).
+    {
+      Request r;
+      while (active_.size() < opt_.max_inflight && queue_.pop(r)) {
+        activate(std::move(r));
+        r = Request{};
+      }
+    }
+    active_gauge.set(static_cast<double>(active_.size()));
+
+    if (active_.empty()) {
+      std::unique_lock lk(mu_);
+      if (queue_.size() == 0) {
+        if (stopping_) break;
+        cv_work_.wait(lk, [&] { return stopping_ || queue_.size() > 0; });
+        if (stopping_ && queue_.size() == 0) break;
+      }
+      continue;
+    }
+
+    ++round;
+    if (opt_.kill_at_round > 0 && round >= opt_.kill_at_round) {
+      // Deterministic mid-load crash for the warm-restart tests: a real
+      // SIGKILL, so no destructor or flush softens the exercise.
+      std::raise(SIGKILL);
+    }
+
+    // One stage-3 step for every active session this round. Sessions that
+    // can join a fused inference batch are grouped by model identity and
+    // stepped through the micro-batcher; the rest (kExact, degraded)
+    // step() individually.
+    std::vector<std::pair<pipeline::Session*, std::string>> failures;
+    std::vector<Active*> solo;
+    std::map<std::pair<const void*, const void*>,
+             std::vector<pipeline::Session*>>
+        groups;
+    for (auto& a : active_) {
+      if (opt_.batch && a.session->wants_neural_forces())
+        groups[{a.session->options().gs_model.get(),
+                a.session->options().xs_model.get()}]
+            .push_back(a.session.get());
+      else
+        solo.push_back(&a);
+    }
+    for (auto& [key, group] : groups) batcher_.step_group(group, &failures);
+    for (Active* a : solo) {
+      try {
+        a->session->step();
+      } catch (const std::exception& e) {
+        failures.emplace_back(a->session.get(), e.what());
+      }
+    }
+
+    // Reap terminal sessions (completed or failed).
+    for (std::size_t i = 0; i < active_.size();) {
+      Active& a = active_[i];
+      std::string error;
+      for (const auto& [s, what] : failures)
+        if (s == a.session.get()) error = what.empty() ? "failed" : what;
+      if (!error.empty()) {
+        Outcome out;
+        out.error = std::move(error);
+        out.result = a.session->result();
+        complete(a, std::move(out));
+      } else if (a.session->done()) {
+        Outcome out;
+        out.ok = true;
+        out.result = a.session->result();
+        complete(a, std::move(out));
+      } else {
+        ++i;
+        continue;
+      }
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  active_gauge.set(0.0);
+}
+
+} // namespace mlmd::serve

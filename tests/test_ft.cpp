@@ -313,6 +313,41 @@ TEST(WithRetry, NonTransientErrorsPropagateImmediately) {
   EXPECT_EQ(calls, 1);
 }
 
+namespace {
+std::vector<double>& recorded_backoffs() {
+  static std::vector<double> v;
+  return v;
+}
+void recording_sleep(double seconds) { recorded_backoffs().push_back(seconds); }
+} // namespace
+
+TEST(WithRetry, BackoffScheduleIsInjectableAndExponential) {
+  // The injectable clock (ISSUE 9 satellite): the backoff sleeps route
+  // through set_backoff_sleep, so the exponential schedule is asserted
+  // exactly, with zero wall-clock time spent — the serve retry paths test
+  // the same way.
+  recorded_backoffs().clear();
+  ASSERT_EQ(ft::set_backoff_sleep(&recording_sleep), nullptr);
+  ft::RetryOptions opt;
+  opt.max_attempts = 4;
+  opt.backoff_seconds = 0.25;
+  opt.backoff_multiplier = 2.0;
+  int calls = 0;
+  EXPECT_THROW(ft::with_retry(
+                   [&]() -> void {
+                     ++calls;
+                     throw ft::TransientCommFault("always");
+                   },
+                   opt),
+               ft::TransientError);
+  EXPECT_EQ(ft::set_backoff_sleep(nullptr), &recording_sleep);
+  EXPECT_EQ(calls, 4);
+  ASSERT_EQ(recorded_backoffs().size(), 3u); // no sleep after the last try
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[0], 0.25);
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[1], 0.5);
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[2], 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // StepSentinel
 // ---------------------------------------------------------------------------
@@ -524,11 +559,14 @@ TEST(Pipeline, DegradePolicySanitizesExactBackend) {
 
 TEST(Pipeline, DegradePolicySwapsNeuralForExactBackend) {
   ft::ScopedFaults faults("nan_force@step=3");
-  nnq::LatticeModel gs({8, 8}, 5), xs({8, 8}, 6);
+  auto gs = std::make_shared<nnq::LatticeModel>(
+      std::vector<std::size_t>{8, 8}, 5);
+  auto xs = std::make_shared<nnq::LatticeModel>(
+      std::vector<std::size_t>{8, 8}, 6);
   auto opt = tiny_pipeline();
   opt.backend = pipeline::ForceBackend::kNeural;
-  opt.gs_model = &gs;
-  opt.xs_model = &xs;
+  opt.gs_model = gs;
+  opt.xs_model = xs;
   opt.guard.enabled = true;
   opt.guard.policy = ft::Policy::kDegrade;
   auto res = pipeline::run_pipeline(opt, /*dark=*/true);

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "mlmd/mlmd/pipeline.hpp"
 #include "mlmd/nnq/train.hpp"
@@ -70,16 +72,19 @@ TEST(Pipeline, NeuralBackendRuns) {
   // output (finite Q history), not physical accuracy at this tiny budget.
   auto gs_data = nnq::sample_ferro_dataset(8, 8, 0.05, 10, 5, 0.0, 81);
   auto xs_data = nnq::sample_ferro_dataset(8, 8, 0.05, 10, 5, 0.45, 82);
-  nnq::LatticeModel gs({12, 12}, 5), xs({12, 12}, 6);
+  auto gs = std::make_shared<nnq::LatticeModel>(
+      std::vector<std::size_t>{12, 12}, 5);
+  auto xs = std::make_shared<nnq::LatticeModel>(
+      std::vector<std::size_t>{12, 12}, 6);
   nnq::TrainOptions topt;
   topt.epochs = 10;
-  nnq::train_energy(gs.net(), gs_data, topt);
-  nnq::train_energy(xs.net(), xs_data, topt);
+  nnq::train_energy(gs->net(), gs_data, topt);
+  nnq::train_energy(xs->net(), xs_data, topt);
 
   auto opt = small_options();
   opt.backend = ForceBackend::kNeural;
-  opt.gs_model = &gs;
-  opt.xs_model = &xs;
+  opt.gs_model = gs;
+  opt.xs_model = xs;
   opt.lattice = 16;
   opt.superlattice = 1;
   opt.xs_steps = 50;
@@ -94,6 +99,95 @@ TEST(Pipeline, ExcitationWeightScalesWithSaturation) {
   auto res = run_pipeline(opt, false);
   EXPECT_LT(res.w, 1e-3);
   EXPECT_FALSE(res.switched);
+}
+
+// ---------------------------------------------------------------------------
+// pipeline::Session: re-entrant interleaved execution (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+PipelineOptions session_options() {
+  auto opt = small_options();
+  opt.lattice = 16;
+  opt.superlattice = 1;
+  opt.relax_steps = 60;
+  opt.xs_steps = 40;
+  opt.record_every = 10;
+  return opt;
+}
+
+void expect_bitwise_equal(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.n_exc, b.n_exc);
+  EXPECT_EQ(a.w, b.w);
+  EXPECT_EQ(a.q_initial, b.q_initial);
+  EXPECT_EQ(a.q_final, b.q_final);
+  EXPECT_EQ(a.switched, b.switched);
+  ASSERT_EQ(a.q_history.size(), b.q_history.size());
+  for (std::size_t i = 0; i < a.q_history.size(); ++i)
+    EXPECT_EQ(a.q_history[i], b.q_history[i]);
+}
+
+TEST(Session, InterleavedLightAndDarkMatchRunPipelineBitwise) {
+  const auto opt = session_options();
+  const auto ref_light = run_pipeline(opt, /*dark=*/false);
+  const auto ref_dark = run_pipeline(opt, /*dark=*/true);
+
+  // One light + one dark scenario advanced a step at a time, round-robin
+  // on one thread — the serve scheduler's execution shape.
+  Session light(opt, /*dark=*/false);
+  Session dark(opt, /*dark=*/true);
+  light.prepare();
+  dark.prepare();
+  while (!light.done() || !dark.done()) {
+    light.step();
+    dark.step();
+  }
+  expect_bitwise_equal(light.result(), ref_light);
+  expect_bitwise_equal(dark.result(), ref_dark);
+}
+
+TEST(Session, InterleavedCheckpointRestoreMatchesBitwise) {
+  const std::string ckpt = "test_session_interleaved.ckpt";
+  auto opt = session_options();
+  const auto reference = run_pipeline(opt, /*dark=*/true);
+
+  // Interleave a checkpointing dark session with an independent light
+  // one; abandon the dark session at step 20 (its last checkpoint).
+  auto copt = opt;
+  copt.checkpoint_every = 10;
+  copt.checkpoint_path = ckpt;
+  {
+    Session dark(copt, /*dark=*/true);
+    Session light(opt, /*dark=*/false);
+    dark.prepare();
+    light.prepare();
+    while (dark.step_index() < 20) {
+      dark.step();
+      light.step();
+    }
+  }
+
+  // A fresh Session restores the checkpoint and finishes, still
+  // interleaved with an unrelated scenario.
+  auto ropt = opt;
+  ropt.restore_path = ckpt;
+  Session resumed(ropt, /*dark=*/true);
+  Session other(opt, /*dark=*/false);
+  resumed.prepare();
+  other.prepare();
+  EXPECT_EQ(resumed.result().start_step, 20);
+  while (!resumed.done()) {
+    resumed.step();
+    other.step();
+  }
+  expect_bitwise_equal(resumed.result(), reference);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Session, StepWithRejectsNonNeuralSessions) {
+  Session s(session_options(), /*dark=*/true);
+  s.prepare();
+  EXPECT_FALSE(s.wants_neural_forces()); // kExact backend
+  EXPECT_THROW(s.step_with({}), std::logic_error);
 }
 
 } // namespace
