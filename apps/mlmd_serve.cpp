@@ -12,16 +12,30 @@
 // results are bitwise-identical to an uninterrupted run (tested by
 // serve_warm_restart_test.sh and the ServeFork gtests).
 //
+// Operational robustness (DESIGN.md Sec. 15): --deadline-ms bounds every
+// scenario (expired ones are reaped with their checkpoint kept, so a
+// rerun resumes them); SIGTERM drains gracefully — admission closes,
+// every live session checkpoints, obs flushes, and the daemon exits 0;
+// --shed-watermark-ms sheds load once the p95 queue wait crosses it.
+//
 //   mlmd_serve [--tenants=4] [--per-tenant=2] [--out=DIR]
 //              [--checkpoint-dir=DIR] [--checkpoint-every=10]
 //              [--lattice=16] [--xs-steps=40] [--inflight=8]
 //              [--queue-cap=64] [--quota=0] [--batch-max=8] [--batch=1]
 //              [--verify-batching] [--threads=N] [--trace=PATH]
+//              [--deadline-ms=MS] [--shed-watermark-ms=MS]
 //              [--kill-at-round=N]   (test hook: SIGKILL mid-load)
+//              [--term-at-round=N]   (test hook: SIGTERM mid-load)
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mlmd/common/cli.hpp"
@@ -34,6 +48,10 @@
 namespace {
 
 using namespace mlmd;
+
+/// SIGTERM latch: the handler only sets the flag; the drain watcher
+/// thread does the actual work (drain() takes locks a handler must not).
+volatile std::sig_atomic_t g_sigterm = 0;
 
 std::string result_path(const std::string& dir, long id) {
   return dir + "/result-" + std::to_string(id) + ".txt";
@@ -108,7 +126,14 @@ void usage() {
       "  --batch=0|1 --batch-max=N    cross-request inference batching\n"
       "  --verify-batching            memcmp batched vs unbatched forces\n"
       "  --threads=N --trace=PATH     ThreadPool size / Chrome trace\n"
-      "  --kill-at-round=N            test hook: SIGKILL at scheduler round N");
+      "  --deadline-ms=MS             per-request deadline (reaped with\n"
+      "                               checkpoint kept; rerun resumes); also\n"
+      "                               MLMD_SERVE_DEADLINE_MS (flag wins)\n"
+      "  --shed-watermark-ms=MS       reject new work while p95 queue wait\n"
+      "                               exceeds MS (load shedding)\n"
+      "  --kill-at-round=N            test hook: SIGKILL at scheduler round N\n"
+      "  --term-at-round=N            test hook: SIGTERM at scheduler round N\n"
+      "                               (graceful drain, exit 0)");
 }
 
 } // namespace
@@ -123,7 +148,8 @@ int main(int argc, char** argv) {
           {"tenants", "per-tenant", "out", "checkpoint-dir",
            "checkpoint-every", "lattice", "xs-steps", "inflight", "queue-cap",
            "quota", "batch", "batch-max", "verify-batching", "threads",
-           "trace", "kill-at-round", "help"},
+           "trace", "deadline-ms", "shed-watermark-ms", "kill-at-round",
+           "term-at-round", "help"},
           "run 'mlmd_serve --help' for usage"))
     return 1;
 
@@ -172,9 +198,43 @@ int main(int argc, char** argv) {
     sopt.checkpoint_every =
         static_cast<int>(cli.integer("checkpoint-every", 10));
     sopt.kill_at_round = cli.integer("kill-at-round", 0);
+    sopt.term_at_round = cli.integer("term-at-round", 0);
+    sopt.shed_watermark_ms = cli.real("shed-watermark-ms", 0.0);
+    double deadline_ms = cli.real("deadline-ms", -1.0);
+    if (deadline_ms < 0.0) {
+      // Environment fallback, flag wins (strict parse, like the flags).
+      if (const char* e = std::getenv("MLMD_SERVE_DEADLINE_MS"); e && *e) {
+        const std::string value(e);
+        std::size_t used = 0;
+        try {
+          deadline_ms = std::stod(value, &used);
+        } catch (...) {
+          used = 0;
+        }
+        if (used != value.size())
+          throw std::invalid_argument("MLMD_SERVE_DEADLINE_MS: bad value '" +
+                                      value + "'");
+      }
+    }
+    if (deadline_ms > 0.0) sopt.default_deadline_ms = deadline_ms;
 
     serve::Server server(sopt, registry);
     server.start();
+
+    // SIGTERM = graceful drain: the handler latches, this watcher drains
+    // (checkpoint everything, close admission), and main falls through
+    // its wait loop to exit 0 — the orchestrator contract.
+    std::signal(SIGTERM, [](int) { g_sigterm = 1; });
+    std::atomic<bool> watcher_stop{false};
+    std::thread term_watcher([&] {
+      while (!watcher_stop.load(std::memory_order_relaxed)) {
+        if (g_sigterm) {
+          server.drain();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
 
     auto workload = make_workload(tenants, per_tenant, lattice, xs_steps);
     std::vector<const serve::Request*> submitted;
@@ -195,26 +255,50 @@ int main(int argc, char** argv) {
       submitted.push_back(&req);
     }
 
-    int failed = 0;
+    int failed = 0, drained = 0, expired = 0;
     for (const serve::Request* req : submitted) {
       auto out = server.wait(req->id);
-      if (!out.ok) {
-        ++failed;
-        std::fprintf(stderr, "request %ld failed: %s\n", req->id,
-                     out.error.c_str());
+      if (out.ok) {
+        write_result(out_dir, *req, out.result);
+        std::printf(
+            "id=%ld tenant=%d %s: n_exc=%.4f w=%.3f Q %.3f -> %.3f%s\n",
+            req->id, req->tenant, req->dark ? "dark" : "pumped",
+            out.result.n_exc, out.result.w, out.result.q_initial,
+            out.result.q_final, out.result.switched ? " SWITCHED" : "");
         continue;
       }
-      write_result(out_dir, *req, out.result);
-      std::printf("id=%ld tenant=%d %s: n_exc=%.4f w=%.3f Q %.3f -> %.3f%s\n",
-                  req->id, req->tenant, req->dark ? "dark" : "pumped",
-                  out.result.n_exc, out.result.w, out.result.q_initial,
-                  out.result.q_final, out.result.switched ? " SWITCHED" : "");
+      if (out.reject == serve::Reject::kStopped) {
+        // Drained at SIGTERM with its checkpoint kept: degraded service,
+        // not an error — a rerun resumes it bit-identically.
+        ++drained;
+        continue;
+      }
+      if (out.reject == serve::Reject::kDeadline) {
+        ++expired;
+        std::fprintf(stderr,
+                     "request %ld deadline exceeded (checkpoint kept)\n",
+                     req->id);
+        continue;
+      }
+      ++failed;
+      std::fprintf(stderr, "request %ld failed: %s\n", req->id,
+                   out.error.c_str());
     }
+    watcher_stop.store(true, std::memory_order_relaxed);
+    term_watcher.join();
     server.stop();
 
+    // Server::stats() lumps every !ok outcome into failed; the summary
+    // uses the loop's taxonomy so drained/expired don't read as failures.
     const auto st = server.stats();
-    std::printf("served %ld scenarios (%d skipped, %ld failed)\n",
-                st.completed, skipped, st.failed);
+    std::printf("served %ld scenarios (%d skipped, %d failed)\n",
+                st.completed, skipped, failed);
+    if (drained > 0)
+      std::printf("drained %d scenarios (checkpoints kept; rerun resumes)\n",
+                  drained);
+    if (expired > 0)
+      std::printf("%d scenarios hit their deadline (checkpoints kept)\n",
+                  expired);
     int rc = failed == 0 ? 0 : 2;
     if (!obs::finish_tracing(trace_path) && rc == 0) rc = 1;
     return rc;

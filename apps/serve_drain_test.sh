@@ -1,0 +1,63 @@
+#!/bin/sh
+# Graceful-drain acceptance test (ISSUE 10): SIGTERM the mlmd_serve
+# daemon mid-load (via the deterministic --term-at-round hook), require
+# it to exit 0 with every live session checkpointed, then rerun the same
+# command and require every result file to be byte-identical to an
+# uninterrupted reference run.
+# Usage: serve_drain_test.sh <mlmd_serve>
+set -eu
+
+SERVE=${1:?usage: serve_drain_test.sh <path-to-mlmd_serve>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mlmd_serve_drain.XXXXXX")
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+trap 'cleanup; trap - EXIT; exit 1' INT TERM HUP
+
+FLAGS="--tenants=4 --per-tenant=2 --lattice=16 --xs-steps=40 \
+  --inflight=8 --checkpoint-every=5 --threads=2"
+
+# Reference: uninterrupted run.
+"$SERVE" $FLAGS --out="$WORK/ref" --checkpoint-dir="$WORK/ref_ckpt" \
+  > "$WORK/ref.log"
+
+# Run 1: SIGTERM raised deterministically mid-load. Unlike the SIGKILL of
+# the warm-restart test, a drain is graceful: admission closes, live
+# sessions checkpoint, and the daemon must exit 0.
+rc=0
+"$SERVE" $FLAGS --out="$WORK/dr" --checkpoint-dir="$WORK/dr_ckpt" \
+  --term-at-round=20 > "$WORK/run1.log" 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: SIGTERM drain exited non-zero (rc=$rc)" >&2
+  cat "$WORK/run1.log" >&2
+  exit 1
+fi
+if ! grep -q "drained" "$WORK/run1.log"; then
+  echo "FAIL: run 1 drained nothing (term-at-round too late?)" >&2
+  cat "$WORK/run1.log" >&2
+  exit 1
+fi
+
+# Drained sessions must have left their checkpoints behind.
+if [ -z "$(ls "$WORK/dr_ckpt" 2>/dev/null)" ]; then
+  echo "FAIL: drain kept no checkpoints" >&2
+  exit 1
+fi
+
+# Run 2: same command, no SIGTERM — skips finished scenarios, resumes the
+# drained ones from their kept checkpoints.
+"$SERVE" $FLAGS --out="$WORK/dr" --checkpoint-dir="$WORK/dr_ckpt" \
+  > "$WORK/run2.log"
+
+for id in 1 2 3 4 5 6 7 8; do
+  if [ ! -f "$WORK/dr/result-$id.txt" ]; then
+    echo "FAIL: missing result-$id.txt after drained rerun" >&2
+    exit 1
+  fi
+  if ! cmp -s "$WORK/ref/result-$id.txt" "$WORK/dr/result-$id.txt"; then
+    echo "FAIL: result-$id.txt differs from uninterrupted reference" >&2
+    diff "$WORK/ref/result-$id.txt" "$WORK/dr/result-$id.txt" >&2 || true
+    exit 1
+  fi
+done
+
+echo "PASS: SIGTERM drain exits 0 and rerun is bitwise-identical"

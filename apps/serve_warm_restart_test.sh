@@ -7,7 +7,12 @@ set -eu
 
 SERVE=${1:?usage: serve_warm_restart_test.sh <path-to-mlmd_serve>}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/mlmd_serve_wr.XXXXXX")
-trap 'rm -rf "$WORK"' EXIT
+# EXIT alone misses signal deaths in some shells (dash does not run the
+# EXIT trap on INT/TERM), leaving checkpoint dirs behind; trap the
+# signals too and re-raise the exit so ctest still sees the failure.
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+trap 'cleanup; trap - EXIT; exit 1' INT TERM HUP
 
 FLAGS="--tenants=4 --per-tenant=2 --lattice=16 --xs-steps=40 \
   --inflight=8 --checkpoint-every=5 --threads=2"

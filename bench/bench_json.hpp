@@ -67,6 +67,18 @@
 // latency percentiles, and the cross-request batching speedup (sustained
 // throughput vs. the same load served with batch size 1). Omitted unless
 // the bench actually served traffic.
+//
+// Runs that exercised the liveness layer (DESIGN.md Sec. 15) add an
+// optional "liveness" block
+//
+//   "liveness": {"deadline_hits": N, "sheds": N, "stall_detections": N,
+//                "drained": N, "drain_seconds": S}
+//
+// sourced from the serve.deadline.hits / serve.shed /
+// simcomm.stalls.detected / serve.drained / serve.drain.seconds
+// instruments; omitted entirely when no deadline fired, nothing was
+// shed, no stall was detected and no drain ran, so plain-throughput
+// files are byte-stable against pre-liveness consumers.
 
 #include <cstdio>
 #include <string>
@@ -126,6 +138,20 @@ struct ServeStats {
   bool any() const { return sessions != 0; }
 };
 
+/// Liveness totals for the optional "liveness" block (DESIGN.md Sec. 15).
+struct LivenessStats {
+  unsigned long long deadline_hits = 0;
+  unsigned long long sheds = 0;
+  unsigned long long stall_detections = 0;
+  unsigned long long drained = 0;
+  double drain_seconds = 0.0;
+
+  bool any() const {
+    return deadline_hits || sheds || stall_detections || drained ||
+           drain_seconds > 0.0;
+  }
+};
+
 /// Snapshot the process-global ft.* instruments. counter()/histogram()
 /// get-or-register, so this is safe even when the ft layer never ran.
 inline FtStats ft_stats_from_registry() {
@@ -140,11 +166,26 @@ inline FtStats ft_stats_from_registry() {
   return s;
 }
 
+/// Snapshot the process-global liveness instruments (DESIGN.md Sec. 15).
+/// Like ft_stats_from_registry, get-or-register makes this safe when the
+/// serve/transport liveness machinery never fired.
+inline LivenessStats liveness_stats_from_registry() {
+  auto& reg = obs::Registry::global();
+  LivenessStats s;
+  s.deadline_hits = reg.counter("serve.deadline.hits").value();
+  s.sheds = reg.counter("serve.shed").value();
+  s.stall_detections = reg.counter("simcomm.stalls.detected").value();
+  s.drained = reg.counter("serve.drained").value();
+  s.drain_seconds = reg.histogram("serve.drain.seconds").sum();
+  return s;
+}
+
 inline bool write(const std::string& path, const std::vector<Record>& recs,
                   const FtStats* ft = nullptr,
                   const std::string& transport = "",
                   const std::string& comm_mode = "",
-                  const ServeStats* serve = nullptr) {
+                  const ServeStats* serve = nullptr,
+                  const LivenessStats* liveness = nullptr) {
   std::FILE* fp = std::fopen(path.c_str(), "w");
   if (!fp) return false;
   std::fprintf(fp, "{\"schema_version\": %d, ", kSchemaVersion);
@@ -197,6 +238,15 @@ inline bool write(const std::string& path, const std::vector<Record>& recs,
         serve->batch_speedup, serve->latency_p50_s, serve->latency_p95_s,
         serve->latency_p99_s, serve->batch_occupancy_mean, serve->completed,
         serve->rejected);
+  }
+  if (liveness && liveness->any()) {
+    std::fprintf(fp,
+                 ",\n\"liveness\": {\"deadline_hits\": %llu, \"sheds\": %llu, "
+                 "\"stall_detections\": %llu, \"drained\": %llu, "
+                 "\"drain_seconds\": %.6g}",
+                 liveness->deadline_hits, liveness->sheds,
+                 liveness->stall_detections, liveness->drained,
+                 liveness->drain_seconds);
   }
   std::fprintf(fp, "}\n");
   std::fclose(fp);

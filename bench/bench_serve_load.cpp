@@ -15,9 +15,16 @@
 // (offered/sustained throughput, p50/p95/p99 latency from the per-tenant
 // obs histogram lanes, batch occupancy); validated by trace_check.
 //
+// Liveness knobs (DESIGN.md Sec. 15): --deadline-ms stamps every offered
+// scenario with a per-request deadline and --shed-watermark-ms arms
+// p95-queue-wait load shedding; when either mechanism fires during the
+// measured (batched) phase the JSON gains the optional "liveness" block
+// (deadline hits, sheds, stall detections, drain totals).
+//
 //   bench_serve_load [--tenants=4] [--per-tenant=3] [--lattice=16]
 //                    [--xs-steps=30] [--inflight=8] [--batch-max=8]
 //                    [--mode=closed|open] [--rps=4] [--queue-cap=8]
+//                    [--deadline-ms=D] [--shed-watermark-ms=W]
 //                    [--threads=N] [--json=PATH]
 
 #include <chrono>
@@ -117,7 +124,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (!cli.check_known({"tenants", "per-tenant", "lattice", "xs-steps",
                         "inflight", "batch-max", "mode", "rps", "queue-cap",
-                        "quota", "threads", "json"},
+                        "quota", "deadline-ms", "shed-watermark-ms", "threads",
+                        "json"},
                        "usage: bench_serve_load [--tenants=4] [--per-tenant=3]"
                        " [--mode=closed|open] [--json=PATH] ..."))
     return 1;
@@ -160,6 +168,9 @@ int main(int argc, char** argv) {
         "queue-cap", mode == "open" ? 8 : total + 8));
     sopt.tenant_quota = static_cast<std::size_t>(cli.integer("quota", 0));
     sopt.checkpoint_every = 0;
+    const double deadline_ms = cli.real("deadline-ms", -1.0);
+    if (deadline_ms > 0.0) sopt.default_deadline_ms = deadline_ms;
+    sopt.shed_watermark_ms = cli.real("shed-watermark-ms", 0.0);
 
     // Phase 1: the same load with cross-request batching off — the
     // baseline the speedup is measured against.
@@ -167,9 +178,11 @@ int main(int argc, char** argv) {
     batch1.batch = false;
     const auto base = run_phase(shape, batch1, models, mode, rps);
 
-    // Phase 2: micro-batcher on.
+    // Phase 2: micro-batcher on. run_phase resets the registry, so the
+    // liveness snapshot below describes exactly this measured phase.
     const auto batched = run_phase(shape, sopt, models, mode, rps);
 
+    const auto liveness = benchjson::liveness_stats_from_registry();
     auto& reg = obs::Registry::global();
     const auto& lat = reg.histogram("serve.latency_seconds");
     const auto& occ = reg.histogram("serve.batch.occupancy");
@@ -214,6 +227,11 @@ int main(int argc, char** argv) {
     std::printf("latency p50/p95/p99: %.3f / %.3f / %.3f s\n",
                 serve_stats.latency_p50_s, serve_stats.latency_p95_s,
                 serve_stats.latency_p99_s);
+    if (liveness.any())
+      std::printf("liveness: %llu deadline hits, %llu sheds, %llu stalls "
+                  "detected, %llu drained\n",
+                  liveness.deadline_hits, liveness.sheds,
+                  liveness.stall_detections, liveness.drained);
 
     if (cli.has("json")) {
       std::vector<benchjson::Record> recs(2);
@@ -222,7 +240,7 @@ int main(int argc, char** argv) {
       recs[1].kernel = "serve." + mode + ".batchN";
       recs[1].seconds = batched.elapsed_s;
       if (!benchjson::write(cli.str("json"), recs, nullptr, "", "",
-                            &serve_stats)) {
+                            &serve_stats, &liveness)) {
         std::fprintf(stderr, "error: cannot write %s\n",
                      cli.str("json").c_str());
         return 1;

@@ -17,7 +17,9 @@
 //   must, when present, carry numeric faults_injected/faults_detected/
 //   faults_recovered/checkpoint_writes/checkpoint_bytes/
 //   checkpoint_seconds with detected >= recovered and non-negative
-//   values.
+//   values. An optional "liveness" object (DESIGN.md Sec. 15) must carry
+//   numeric deadline_hits/sheds/stall_detections/drained/drain_seconds,
+//   all non-negative, with drain_seconds > 0 implying drained > 0.
 //
 // The file kind is detected from the top-level value. Exit 0 on a valid
 // file (a one-line summary is printed), 1 on any structural violation.
@@ -458,14 +460,55 @@ int check_bench(const Value& root) {
     have_serve = true;
   }
 
+  // Optional liveness block (DESIGN.md Sec. 15): deadline hits, sheds,
+  // stall detections and drain totals must all be numeric and
+  // non-negative; emitters omit the block entirely on fully-live runs.
+  bool have_liveness = false;
+  if (root.obj.count("liveness")) {
+    const Value* lv = field(root, "liveness", Value::Kind::kObject);
+    if (!lv) {
+      std::fprintf(stderr, "trace_check: \"liveness\" is not an object\n");
+      return 1;
+    }
+    static const char* lv_keys[] = {"deadline_hits", "sheds",
+                                    "stall_detections", "drained",
+                                    "drain_seconds"};
+    for (const char* k : lv_keys) {
+      const Value* v = field(*lv, k, Value::Kind::kNumber);
+      if (!v) {
+        std::fprintf(stderr, "trace_check: liveness block lacks numeric %s\n",
+                     k);
+        return 1;
+      }
+      if (v->num < 0.0) {
+        std::fprintf(stderr, "trace_check: liveness.%s is negative\n", k);
+        return 1;
+      }
+    }
+    // A drain that took time must have drained at least one session —
+    // nonzero drain_seconds with drained == 0 means a mislabeled lane.
+    const double drained = field(*lv, "drained", Value::Kind::kNumber)->num;
+    const double drain_s = field(*lv, "drain_seconds",
+                                 Value::Kind::kNumber)->num;
+    if (drain_s > 0.0 && drained == 0.0) {
+      std::fprintf(stderr,
+                   "trace_check: liveness.drain_seconds (%g) nonzero with "
+                   "zero drained sessions\n",
+                   drain_s);
+      return 1;
+    }
+    have_liveness = true;
+  }
+
   std::printf(
-      "trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s%s%s%s\n",
+      "trace_check: OK, bench schema v%d, %zu records%s%s%s%s%s%s%s%s%s\n",
       static_cast<int>(ver->num), recs->arr.size(),
       simd_target.empty() ? "" : ", simd ", simd_target.c_str(),
       transport.empty() ? "" : ", transport ", transport.c_str(),
       comm_mode.empty() ? "" : ", comm ", comm_mode.c_str(),
       have_ft ? ", ft block present" : "",
-      have_serve ? ", serve block present" : "");
+      have_serve ? ", serve block present" : "",
+      have_liveness ? ", liveness block present" : "");
   return 0;
 }
 

@@ -33,6 +33,9 @@ FaultSpec parse_entry(const std::string& entry) {
   else if (kind == "bitflip") s.kind = FaultKind::kBitFlip;
   else if (kind == "nan_force") s.kind = FaultKind::kNanForce;
   else if (kind == "inf_field") s.kind = FaultKind::kInfField;
+  else if (kind == "stall") s.kind = FaultKind::kStall;
+  else if (kind == "slow_rank") s.kind = FaultKind::kSlowRank;
+  else if (kind == "drop_doorbell") s.kind = FaultKind::kDropDoorbell;
   else
     throw std::invalid_argument("parse_faults: unknown fault kind '" + kind +
                                 "'");
@@ -81,6 +84,7 @@ FaultSpec parse_entry(const std::string& entry) {
     else if (key == "p") s.p = as_double();
     else if (key == "seed") s.seed = static_cast<std::uint64_t>(as_long());
     else if (key == "count") s.count = as_long();
+    else if (key == "ms") s.ms = as_double();
     else
       throw std::invalid_argument("parse_faults: unknown key '" + key +
                                   "' in '" + entry + "'");
@@ -93,6 +97,11 @@ FaultSpec parse_entry(const std::string& entry) {
   if (s.count < 1)
     throw std::invalid_argument("parse_faults: count must be >= 1 in '" +
                                 entry + "'");
+  if (s.ms >= 0.0 && s.kind != FaultKind::kStall &&
+      s.kind != FaultKind::kSlowRank)
+    throw std::invalid_argument(
+        "parse_faults: key 'ms' only applies to stall/slow_rank in '" + entry +
+        "'");
   return s;
 }
 
@@ -105,6 +114,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBitFlip: return "bitflip";
     case FaultKind::kNanForce: return "nan_force";
     case FaultKind::kInfField: return "inf_field";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kSlowRank: return "slow_rank";
+    case FaultKind::kDropDoorbell: return "drop_doorbell";
   }
   return "?";
 }
@@ -208,6 +220,31 @@ bool FaultPlan::on_fields(long step, double* v, std::size_t n) {
   return hit;
 }
 
+double FaultPlan::on_delay(int rank) {
+  const long step = current_step();
+  std::lock_guard lk(mu_);
+  double seconds = 0.0;
+  for (auto& a : armed_) {
+    const bool stall = a.spec.kind == FaultKind::kStall;
+    if (!stall && a.spec.kind != FaultKind::kSlowRank) continue;
+    if (!fires(a, step, rank)) continue;
+    const double dflt_ms = stall ? 250.0 : 2.0;
+    seconds += (a.spec.ms >= 0.0 ? a.spec.ms : dflt_ms) * 1e-3;
+  }
+  return seconds;
+}
+
+bool FaultPlan::on_doorbell(int rank) {
+  const long step = current_step();
+  std::lock_guard lk(mu_);
+  bool hit = false;
+  for (auto& a : armed_) {
+    if (a.spec.kind != FaultKind::kDropDoorbell) continue;
+    if (fires(a, step, rank)) hit = true;
+  }
+  return hit;
+}
+
 long FaultPlan::fired() const {
   std::lock_guard lk(mu_);
   return fired_;
@@ -240,6 +277,14 @@ bool forces_hook_slow(long step, double* f, std::size_t n) {
 bool fields_hook_slow(long step, double* v, std::size_t n) {
   auto* p = g_plan.load(std::memory_order_acquire);
   return p ? p->on_fields(step, v, n) : false;
+}
+double delay_hook_slow(int rank) {
+  auto* p = g_plan.load(std::memory_order_acquire);
+  return p ? p->on_delay(rank) : 0.0;
+}
+bool doorbell_hook_slow(int rank) {
+  auto* p = g_plan.load(std::memory_order_acquire);
+  return p ? p->on_doorbell(rank) : false;
 }
 void set_step_slow(long step) {
   if (auto* p = g_plan.load(std::memory_order_acquire)) p->set_step(step);

@@ -11,6 +11,15 @@
 //                                    payload in transit
 //   nan_force@step=25                a NaN written into the force array
 //   inf_field@step=25                an Inf written into a field array
+//   stall@rank=1,ms=500              the rank sleeps 500 ms at a comm/
+//                                    scheduler entry (a wedged peer; with
+//                                    a progress timeout armed the blocked
+//                                    peers unwind with StallError)
+//   slow_rank@rank=1,ms=2,count=50   a straggler: small per-op delay
+//                                    (graceful degradation, never an error)
+//   drop_doorbell@rank=0,count=4     the shm sender skips its condvar
+//                                    doorbell; parked receivers recover
+//                                    via the bounded park slices
 //
 // Entries are ';'-separated; every entry fires at most `count` times
 // (default 1), so a rollback that replays the faulty step converges.
@@ -57,12 +66,26 @@ class TransientCommFault : public TransientError {
   using TransientError::TransientError;
 };
 
+/// A progress deadline expired while blocked in a transport wait (peer
+/// stall, lost doorbell, wedged collective). Deliberately NOT a
+/// TransientError: blindly retrying the blocked op against a wedged peer
+/// would just stall again — the caller decides whether to degrade,
+/// checkpoint, or abort. Thrown by both SimComm backends when
+/// par::progress_timeout() is armed (DESIGN.md Sec. 15).
+class StallError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 enum class FaultKind {
   kRankCrash,
   kExchangeFail,
   kBitFlip,
   kNanForce,
   kInfField,
+  kStall,        ///< rank sleeps spec.ms at a hook site (wedged peer)
+  kSlowRank,     ///< rank sleeps spec.ms per op (straggler / degrade)
+  kDropDoorbell, ///< shm sender skips its condvar doorbell broadcast
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -77,6 +100,9 @@ struct FaultSpec {
   double p = 1.0;
   std::uint64_t seed = 1;
   long count = 1;
+  /// Injected delay in milliseconds (stall / slow_rank); < 0 selects the
+  /// kind default: 250 ms for stall, 2 ms for slow_rank.
+  double ms = -1.0;
 };
 
 /// A deterministic, replayable schedule of faults. Thread-safe: hooks are
@@ -111,6 +137,14 @@ class FaultPlan {
   /// injection.
   bool on_forces(long step, double* f, std::size_t n);
   bool on_fields(long step, double* v, std::size_t n);
+  /// Liveness-chaos hook (transport op entries, serve scheduler rounds):
+  /// total injected delay in seconds for `rank` at the current step, from
+  /// matching stall / slow_rank entries. The CALLER sleeps — the plan
+  /// mutex is never held across the delay.
+  double on_delay(int rank);
+  /// shm doorbell hook: true when a drop_doorbell entry fires for `rank`
+  /// (the sender skips its condvar broadcast for this message).
+  bool on_doorbell(int rank);
 
   /// Total number of faults this plan has fired so far.
   long fired() const;
@@ -143,6 +177,8 @@ void comm_hook_slow(int rank);
 bool payload_hook_slow(int rank, std::span<std::byte> payload);
 bool forces_hook_slow(long step, double* f, std::size_t n);
 bool fields_hook_slow(long step, double* v, std::size_t n);
+double delay_hook_slow(int rank);
+bool doorbell_hook_slow(int rank);
 void set_step_slow(long step);
 } // namespace detail
 
@@ -173,6 +209,16 @@ inline bool hook_forces(long step, double* f, std::size_t n) {
 }
 inline bool hook_fields(long step, double* v, std::size_t n) {
   return armed() ? detail::fields_hook_slow(step, v, n) : false;
+}
+/// Injected stall/slow_rank delay in seconds for `rank` (0 when none
+/// fires); the caller sleeps. `rank` < 0 matches any-rank entries only
+/// from rank-agnostic sites (the serve scheduler).
+inline double hook_delay(int rank) {
+  return armed() ? detail::delay_hook_slow(rank) : 0.0;
+}
+/// True when an armed drop_doorbell entry fires for `rank`.
+inline bool hook_drop_doorbell(int rank) {
+  return armed() ? detail::doorbell_hook_slow(rank) : false;
 }
 /// Publish the driving loop's step counter for the SimComm hooks.
 inline void set_step(long step) {

@@ -15,6 +15,7 @@
 // ft.faults.recovered obs counters so traces and benchjson show the
 // recovery cost.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <span>
@@ -94,6 +95,17 @@ struct RetryOptions {
   int max_attempts = 4;          ///< total tries, including the first
   double backoff_seconds = 0.0;  ///< sleep before retry #1 (0 = no sleep)
   double backoff_multiplier = 2.0;
+  /// Deterministic jitter: each sleep is scaled by a seeded uniform factor
+  /// in [1 - jitter/2, 1 + jitter/2], decorrelating retry storms across
+  /// ranks without losing replayability. 0 (default) keeps the exact
+  /// exponential schedule.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+  /// Cap on the TOTAL slept time across all retries, so a retry loop can
+  /// never outlive its caller's deadline: once the budget is spent the
+  /// pending TransientError is rethrown, and the last sleep is truncated
+  /// to exactly exhaust the budget. < 0 (default) = unbounded.
+  double max_total_seconds = -1.0;
 };
 
 /// Injectable backoff clock. with_retry sleeps through backoff_sleep(),
@@ -120,6 +132,8 @@ auto with_retry(F&& fn, const RetryOptions& opt = {})
   static auto& detected = reg.counter("ft.faults.detected");
   static auto& recovered = reg.counter("ft.faults.recovered");
   double backoff = opt.backoff_seconds;
+  double slept = 0.0;
+  mlmd::Rng rng(opt.jitter_seed);
   for (int attempt = 1;; ++attempt) {
     try {
       if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
@@ -134,11 +148,19 @@ auto with_retry(F&& fn, const RetryOptions& opt = {})
     } catch (const TransientError&) {
       detected.add(1);
       if (attempt >= opt.max_attempts) throw;
-      attempts.add(1);
-      if (backoff > 0.0) {
-        backoff_sleep(backoff);
-        backoff *= opt.backoff_multiplier;
+      double next = backoff;
+      if (next > 0.0 && opt.jitter > 0.0)
+        next *= 1.0 + opt.jitter * (rng.uniform() - 0.5);
+      if (opt.max_total_seconds >= 0.0) {
+        if (slept >= opt.max_total_seconds) throw;
+        next = std::min(next, opt.max_total_seconds - slept);
       }
+      attempts.add(1);
+      if (next > 0.0) {
+        backoff_sleep(next);
+        slept += next;
+      }
+      backoff *= opt.backoff_multiplier;
     }
   }
 }

@@ -13,6 +13,8 @@
 // by thread limits (hundreds); the paper-scale sweeps (P up to 120,000)
 // use mlmd::perf's calibrated machine model instead.
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstddef>
@@ -92,6 +94,39 @@ private:
 
   /// Throws if the group has been poisoned. Caller must hold mu_.
   void throw_if_aborted_locked() const;
+
+  /// Poison the group in place (caller already holds mu_; abort() takes
+  /// the lock itself) and wake every parked waiter.
+  void poison_locked(const std::string& reason);
+  /// Record a stall detection, poison the group, and throw ft::StallError
+  /// (defined in simcomm.cpp so this header stays ft-free). Caller holds
+  /// mu_.
+  [[noreturn]] void stall_locked(const char* op, double budget);
+
+  /// Progress-bounded condvar wait (DESIGN.md Sec. 15): the indefinite
+  /// cv_.wait(lk, pred) of every blocking primitive, plus an optional
+  /// liveness deadline. With no progress_timeout() armed this IS
+  /// cv_.wait(lk, pred); with one armed, the wait is sliced (<= 50 ms per
+  /// slice, matching the shm park ceiling) and expiry poisons the group
+  /// and throws ft::StallError. Returns the seconds spent blocked, for
+  /// the caller's wait accounting. Caller holds lk on mu_.
+  template <class Pred>
+  double wait_progress(std::unique_lock<std::mutex>& lk, Pred&& pred,
+                       const char* op) {
+    const double budget = par::progress_timeout();
+    const double w0 = mono_seconds();
+    if (budget <= 0.0) {
+      cv_.wait(lk, std::forward<Pred>(pred));
+      return mono_seconds() - w0;
+    }
+    while (!pred()) {
+      const double left = budget - (mono_seconds() - w0);
+      if (left <= 0.0) stall_locked(op, budget);
+      cv_.wait_for(lk,
+                   std::chrono::duration<double>(std::min(left, 0.05)));
+    }
+    return mono_seconds() - w0;
+  }
 
   const int nranks_;
 

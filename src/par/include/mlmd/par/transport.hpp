@@ -266,4 +266,20 @@ const char* comm_mode_name(CommMode mode);
 CommMode default_comm_mode();
 void set_default_comm_mode(CommMode mode);
 
+/// Process-wide transport progress timeout in SECONDS (DESIGN.md
+/// Sec. 15). When > 0, every blocking transport wait — barrier, exchange,
+/// recv, the shm park path, and CommHandle::wait (which runs the blocking
+/// op underneath) — bounds the time it will sit with NO progress from the
+/// awaited peer; on expiry the group is poisoned and the blocked ranks
+/// unwind with ft::StallError ("no progress for ...") instead of hanging
+/// forever. Peer DEATH is detected independently of this timeout (the shm
+/// waitpid watchdog poisons the doorbell immediately); the timeout covers
+/// the live-but-wedged peer the watchdog cannot see. <= 0 (the default)
+/// preserves the historical block-forever behavior and costs nothing on
+/// the fast path. Initialized from MLMD_COMM_TIMEOUT_MS (milliseconds) on
+/// first use; set_progress_timeout (the --comm-timeout-ms flag) overrides
+/// it.
+double progress_timeout();
+void set_progress_timeout(double seconds);
+
 } // namespace mlmd::par

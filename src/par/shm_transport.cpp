@@ -86,6 +86,7 @@ enum class ErrTag : int {
   kLogicError,
   kRuntimeError,
   kStdException,
+  kStall, // progress timeout expired (ft::StallError)
   kUnknown, // non-std type: parent replays on inproc to reproduce it
 };
 
@@ -127,6 +128,17 @@ inline void cpu_relax() {
 #else
   std::this_thread::yield();
 #endif
+}
+
+/// Comm-entry fault hooks: the injected crash/transient faults
+/// (hook_comm), plus the liveness-chaos delays (stall / slow_rank) slept
+/// HERE, before any shared state or lock is touched — to the peers this
+/// rank is simply late, which is exactly what the progress timeout must
+/// detect.
+void inject_comm_faults(int rank) {
+  ft::hook_comm(rank);
+  if (const double d = ft::hook_delay(rank); d > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(d));
 }
 
 struct ShmControl {
@@ -209,6 +221,9 @@ ErrTag classify_current(std::string& what) {
   } catch (const ft::TransientError& e) {
     what = e.what();
     return ErrTag::kTransientError;
+  } catch (const ft::StallError& e) {
+    what = e.what();
+    return ErrTag::kStall;
   } catch (const std::invalid_argument& e) {
     what = e.what();
     return ErrTag::kInvalidArgument;
@@ -238,6 +253,7 @@ ErrTag classify_current(std::string& what) {
     case ErrTag::kInvalidArgument: throw std::invalid_argument(what);
     case ErrTag::kOutOfRange: throw std::out_of_range(what);
     case ErrTag::kLogicError: throw std::logic_error(what);
+    case ErrTag::kStall: throw ft::StallError(what);
     default: throw std::runtime_error(what);
   }
 }
@@ -289,7 +305,7 @@ public:
   int size() const override { return nranks_; }
 
   void barrier(int rank) override {
-    ft::hook_comm(rank);
+    inject_comm_faults(rank);
     double waited = 0.0;
     {
       Locked lk(this);
@@ -305,7 +321,7 @@ public:
     // Hooks fire before any shared state is touched, so a transient fault
     // thrown here leaves the group consistent and the whole collective can
     // simply be retried (ft::with_retry), as with the threaded backend.
-    ft::hook_comm(rank);
+    inject_comm_faults(rank);
     // Injected in-transit corruption hits the deposited copy, never the
     // caller's buffer (the wire analogue of a link bit-flip).
     std::vector<std::byte> dep(contrib.begin(), contrib.end());
@@ -361,7 +377,7 @@ public:
 
   void send(int src, int dst, int tag,
             std::span<const std::byte> payload) override {
-    ft::hook_comm(src);
+    inject_comm_faults(src);
     if (dst < 0 || dst >= nranks_)
       throw std::out_of_range("SimComm::send: bad rank");
     if (dst == src)
@@ -382,13 +398,17 @@ public:
           payload.size());
       ctl_->stats.messages += 1;
       ctl_->stats.p2p_bytes += payload.size();
-      pthread_cond_broadcast(&ctl_->cv);
+      // Chaos drop_doorbell: skip the receiver's wakeup broadcast. The
+      // bytes ARE in the ring (stream_out_locked published the tail), so
+      // a parked receiver recovers via its bounded park slices (<= 50 ms)
+      // — this injects the lost-wakeup race the slices exist to absorb.
+      if (!ft::hook_drop_doorbell(src)) pthread_cond_broadcast(&ctl_->cv);
     }
     account(src, "send", payload.size(), waited);
   }
 
   std::vector<std::byte> recv(int dst, int src, int tag) override {
-    ft::hook_comm(dst);
+    inject_comm_faults(dst);
     // Validate eagerly (mirroring send): a bad source rank would otherwise
     // block forever on a message that can never arrive.
     if (src < 0 || src >= nranks_)
@@ -416,6 +436,7 @@ public:
       throw_if_aborted_locked();
       drain_locked(dst, src, tag, payload, have);
     }
+    const double budget = progress_timeout();
     std::uint64_t slice_ns = kMinParkNs;
     while (!have) {
       // Doorbell progress: ring_put publishes the producer tail with
@@ -444,6 +465,8 @@ public:
         }
         waited += mono_seconds() - w0;
         drain_locked(dst, src, tag, payload, have);
+        if (!have && budget > 0.0 && waited > budget)
+          stall_locked("recv", budget);
       }
     }
     account(dst, "recv", payload.size(), waited);
@@ -632,6 +655,21 @@ private:
     pthread_cond_broadcast(&ctl_->cv);
   }
 
+  /// Progress budget expired while parked (DESIGN.md Sec. 15): count the
+  /// detection, poison the group — so every OTHER parked rank unwinds
+  /// within one park slice too — and throw the typed stall error, which
+  /// crosses the process boundary as ErrTag::kStall. Caller holds the
+  /// lock.
+  [[noreturn]] void stall_locked(const char* op, double budget) {
+    static auto& stalls =
+        obs::Registry::global().counter("simcomm.stalls.detected");
+    stalls.add(1);
+    const std::string what = std::string("no progress in ") + op + " for " +
+                             std::to_string(budget) + " s (peer stalled?)";
+    poison_locked(what);
+    throw ft::StallError("SimComm stall: " + what);
+  }
+
   void throw_if_aborted_locked() const {
     if (ctl_->aborted)
       throw std::runtime_error(std::string("SimComm aborted: ") +
@@ -669,11 +707,14 @@ private:
       pthread_cond_broadcast(&ctl_->cv);
       return 0.0;
     }
+    const double budget = progress_timeout();
     const double w0 = mono_seconds();
     // Adaptive slices: lockstep peers normally arrive within microseconds,
     // so start short and back off toward the 50 ms robustness cap.
     std::uint64_t slice_ns = kMinParkNs;
     while (!ctl_->aborted && ctl_->barrier_generation == gen) {
+      if (budget > 0.0 && mono_seconds() - w0 > budget)
+        stall_locked("sync", budget);
       wait_slice_locked(slice_ns);
       slice_ns = std::min<std::uint64_t>(slice_ns * 2, kMaxParkNs);
     }
@@ -712,12 +753,14 @@ private:
   double stream_out_locked(int src, int dst, const unsigned char* p,
                            std::size_t n) {
     ShmRing* rg = ring(src, dst);
+    const double budget = progress_timeout();
     double waited = 0.0;
     std::size_t done = 0;
     while (done < n) {
       throw_if_aborted_locked();
       const std::size_t space = ring_space(rg);
       if (space == 0) {
+        if (budget > 0.0 && waited > budget) stall_locked("send", budget);
         pthread_cond_broadcast(&ctl_->cv);
         const double w0 = mono_seconds();
         wait_slice_locked();

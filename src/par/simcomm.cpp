@@ -12,6 +12,26 @@ namespace detail {
 
 // Wait/overlap accounting uses the shared Transport::mono_seconds clock.
 
+namespace {
+
+obs::Counter& stalls_counter() {
+  static auto& c = obs::Registry::global().counter("simcomm.stalls.detected");
+  return c;
+}
+
+/// Comm-entry fault hooks: the injected crash/transient faults
+/// (hook_comm), plus the liveness-chaos delays (stall / slow_rank) which
+/// are slept HERE, before any group state is touched and with no locks
+/// held — to the peers this rank is simply late, which is exactly what
+/// the progress timeout must detect.
+void inject_comm_faults(int rank) {
+  ft::hook_comm(rank);
+  if (const double d = ft::hook_delay(rank); d > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(d));
+}
+
+} // namespace
+
 GroupState::GroupState(int nranks)
     : nranks_(nranks), contrib_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)),
       deposited_(static_cast<std::size_t>(nranks > 0 ? nranks : 0), 0),
@@ -42,19 +62,30 @@ void GroupState::throw_if_aborted_locked() const {
     throw std::runtime_error("SimComm aborted: " + abort_reason_);
 }
 
-void GroupState::abort(const std::string& reason) {
-  {
-    std::lock_guard lk(mu_);
-    if (!aborted_) {
-      aborted_ = true;
-      abort_reason_ = reason;
-    }
+void GroupState::poison_locked(const std::string& reason) {
+  if (!aborted_) {
+    aborted_ = true;
+    abort_reason_ = reason;
   }
   cv_.notify_all();
 }
 
+void GroupState::stall_locked(const char* op, double budget) {
+  stalls_counter().add(1);
+  const std::string what = std::string("no progress in ") + op + " for " +
+                           std::to_string(budget) +
+                           " s (peer stalled?)";
+  poison_locked(what);
+  throw ft::StallError("SimComm stall: " + what);
+}
+
+void GroupState::abort(const std::string& reason) {
+  std::lock_guard lk(mu_);
+  poison_locked(reason);
+}
+
 void GroupState::barrier(int rank) {
-  ft::hook_comm(rank); // injected rank death (DESIGN.md Sec. 10)
+  inject_comm_faults(rank); // injected rank death / stall (DESIGN.md Sec. 10)
   double waited = 0.0;
   {
     std::unique_lock lk(mu_);
@@ -65,9 +96,9 @@ void GroupState::barrier(int rank) {
       ++barrier_generation_;
       cv_.notify_all();
     } else {
-      const double w0 = mono_seconds();
-      cv_.wait(lk, [&] { return aborted_ || barrier_generation_ != gen; });
-      waited = mono_seconds() - w0;
+      waited = wait_progress(
+          lk, [&] { return aborted_ || barrier_generation_ != gen; },
+          "barrier");
       throw_if_aborted_locked();
     }
   }
@@ -82,7 +113,7 @@ std::vector<std::byte> GroupState::exchange(int rank,
   // Fault hooks fire before any collective state is touched, so a
   // TransientCommFault thrown here leaves the group consistent and the
   // caller can simply retry the whole collective (ft::with_retry).
-  ft::hook_comm(rank);
+  inject_comm_faults(rank);
   const auto r = static_cast<std::size_t>(rank);
   double waited = 0.0;
   std::unique_lock lk(mu_);
@@ -91,9 +122,7 @@ std::vector<std::byte> GroupState::exchange(int rank,
   // released (all ranks consumed it). deposited_ is the explicit signal;
   // a zero-byte contribution occupies the slot exactly like any other.
   if (deposited_[r]) {
-    const double w0 = mono_seconds();
-    cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
-    waited += mono_seconds() - w0;
+    waited += wait_progress(lk, [&] { return aborted_ || !deposited_[r]; }, op);
   }
   throw_if_aborted_locked();
 
@@ -112,9 +141,8 @@ std::vector<std::byte> GroupState::exchange(int rank,
     ++collective_generation_;
     cv_.notify_all();
   } else {
-    const double w0 = mono_seconds();
-    cv_.wait(lk, [&] { return aborted_ || collective_generation_ != gen; });
-    waited += mono_seconds() - w0;
+    waited += wait_progress(
+        lk, [&] { return aborted_ || collective_generation_ != gen; }, op);
     throw_if_aborted_locked();
   }
 
@@ -140,7 +168,7 @@ std::vector<std::byte> GroupState::exchange(int rank,
 }
 
 void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payload) {
-  ft::hook_comm(src);
+  inject_comm_faults(src);
   if (dst < 0 || dst >= nranks_) throw std::out_of_range("SimComm::send: bad rank");
   if (dst == src)
     throw std::invalid_argument(
@@ -168,7 +196,7 @@ void GroupState::send(int src, int dst, int tag, std::span<const std::byte> payl
 }
 
 std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
-  ft::hook_comm(dst);
+  inject_comm_faults(dst);
   // Validate eagerly (mirroring send): a bad source rank would otherwise
   // block forever on a message that can never arrive.
   if (src < 0 || src >= nranks_) throw std::out_of_range("SimComm::recv: bad rank");
@@ -178,13 +206,14 @@ std::vector<std::byte> GroupState::recv(int dst, int src, int tag) {
   std::unique_lock lk(mu_);
   throw_if_aborted_locked();
   const Key key{src, dst, tag};
-  const double w0 = mono_seconds();
-  cv_.wait(lk, [&] {
-    if (aborted_) return true;
-    auto it = mailboxes_.find(key);
-    return it != mailboxes_.end() && !it->second.empty();
-  });
-  const double waited = mono_seconds() - w0;
+  const double waited = wait_progress(
+      lk,
+      [&] {
+        if (aborted_) return true;
+        auto it = mailboxes_.find(key);
+        return it != mailboxes_.end() && !it->second.empty();
+      },
+      "recv");
   throw_if_aborted_locked();
   auto& queue = mailboxes_[key];
   std::vector<std::byte> payload = std::move(queue.front());
@@ -214,7 +243,7 @@ CommHandle GroupState::iexchange(int rank, std::span<const std::byte> contrib,
   // rank's deposit — so peers can assemble and complete the collective
   // while this rank computes. The closure below is exchange()'s back
   // half, verbatim, so op order and accounting are identical.
-  ft::hook_comm(rank);
+  inject_comm_faults(rank);
   const auto r = static_cast<std::size_t>(rank);
   double waited = 0.0;
   std::uint64_t gen = 0;
@@ -222,9 +251,8 @@ CommHandle GroupState::iexchange(int rank, std::span<const std::byte> contrib,
     std::unique_lock lk(mu_);
     throw_if_aborted_locked();
     if (deposited_[r]) {
-      const double w0 = mono_seconds();
-      cv_.wait(lk, [&] { return aborted_ || !deposited_[r]; });
-      waited += mono_seconds() - w0;
+      waited +=
+          wait_progress(lk, [&] { return aborted_ || !deposited_[r]; }, op);
     }
     throw_if_aborted_locked();
 
@@ -256,10 +284,9 @@ CommHandle GroupState::iexchange(int rank, std::span<const std::byte> contrib,
         {
           std::unique_lock lk(mu_);
           if (!aborted_ && collective_generation_ == gen) {
-            const double w0 = mono_seconds();
-            cv_.wait(lk,
-                     [&] { return aborted_ || collective_generation_ != gen; });
-            w += mono_seconds() - w0;
+            w += wait_progress(
+                lk, [&] { return aborted_ || collective_generation_ != gen; },
+                op);
           }
           throw_if_aborted_locked();
 

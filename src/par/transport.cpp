@@ -214,4 +214,37 @@ CommMode default_comm_mode() { return default_comm_mode_slot(); }
 
 void set_default_comm_mode(CommMode mode) { default_comm_mode_slot() = mode; }
 
+namespace {
+
+double env_progress_timeout() {
+  if (const char* e = std::getenv("MLMD_COMM_TIMEOUT_MS"); e && *e) {
+    const std::string value(e);
+    std::size_t used = 0;
+    double ms = 0.0;
+    try {
+      ms = std::stod(value, &used);
+    } catch (...) {
+      used = 0;
+    }
+    if (used != value.size())
+      throw std::invalid_argument("MLMD_COMM_TIMEOUT_MS: bad value '" + value +
+                                  "' (expected milliseconds)");
+    return ms * 1e-3;
+  }
+  return 0.0;
+}
+
+double& progress_timeout_slot() {
+  static double seconds = env_progress_timeout();
+  return seconds;
+}
+
+} // namespace
+
+double progress_timeout() { return progress_timeout_slot(); }
+
+void set_progress_timeout(double seconds) {
+  progress_timeout_slot() = seconds;
+}
+
 } // namespace mlmd::par

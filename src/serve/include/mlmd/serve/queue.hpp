@@ -30,6 +30,12 @@ struct Request {
   int tenant = 0;
   long id = 0;     ///< caller-chosen, unique per server; keys wait()
   bool dark = false;
+  /// Per-request deadline in milliseconds, measured from submit()
+  /// (DESIGN.md Sec. 15). <= 0 (the default) = infinite. Enforced
+  /// cooperatively at Session::step() boundaries: an expired request is
+  /// reaped with Reject::kDeadline and its last checkpoint is KEPT so
+  /// the tenant can resubmit and resume where it was cut off.
+  double deadline_ms = 0.0;
   pipeline::PipelineOptions opt;
   std::string gs_model, xs_model; ///< registry names; empty = use opt's
 };
@@ -40,8 +46,17 @@ enum class Reject {
   kTenantQuota, ///< this tenant's queued+in-flight quota is exhausted
   kStopped,     ///< server is draining / shut down
   kBadRequest,  ///< structurally invalid (no lattice, neural w/o models)
+  kDeadline,    ///< deadline expired; checkpoint kept, resubmit to resume
+  kOverload,    ///< load-shed: p95 queue wait above the watermark
 };
 const char* reject_name(Reject r);
+
+/// Publish one typed reject to the obs registry: the global
+/// serve.requests.rejected roll-up, the per-reason
+/// serve.rejected.<reason> counter, and the per-tenant lane
+/// serve.rejected.<reason>.t<k> — so a dashboard can tell WHOSE requests
+/// die and WHY (quota pressure vs. overload vs. deadlines).
+void count_reject(Reject why, int tenant);
 
 /// Admission answer, returned synchronously from push().
 struct Ticket {

@@ -56,11 +56,25 @@ struct ServerOptions {
   std::string checkpoint_dir;    ///< non-empty: warm-restart checkpoints
   int checkpoint_every = 10;     ///< steps between session checkpoints
   long kill_at_round = 0;        ///< test hook: SIGKILL at round N (0=off)
+  /// Deadline applied to requests that carry none (ms, <= 0 = infinite).
+  double default_deadline_ms = 0.0;
+  /// Load shedding (DESIGN.md Sec. 15): when > 0 and the queue is
+  /// non-empty, submit() rejects with kOverload while the p95 queue wait
+  /// exceeds this watermark (ms) — bounded staleness beats unbounded
+  /// queueing under sustained overload.
+  double shed_watermark_ms = 0.0;
+  /// Test hook: raise(SIGTERM) at scheduler round N (0 = off), so drain
+  /// tests exercise the real signal path without timing races.
+  long term_at_round = 0;
 };
 
-/// Terminal state of one scenario.
+/// Terminal state of one scenario. `reject` distinguishes the degraded
+/// terminals from genuine failures: kDeadline (reaped at a step boundary,
+/// checkpoint kept) and kStopped (drained at shutdown, checkpoint kept)
+/// both leave ok == false but mean "resubmit to resume", not "broken".
 struct Outcome {
   bool ok = false;
+  Reject reject = Reject::kNone;
   std::string error;
   pipeline::PipelineResult result;
 };
@@ -73,6 +87,14 @@ class Server {
   void start();
   /// Stop accepting, drain everything already accepted, join.
   void stop();
+
+  /// Graceful drain (the SIGTERM protocol, DESIGN.md Sec. 15): close
+  /// admission, checkpoint every live session and reap it with
+  /// Reject::kStopped (checkpoint KEPT), fail queued-but-inactive
+  /// requests with kStopped too, and return when no scenario remains
+  /// in flight. A restarted server resubmitting the same ids resumes the
+  /// drained sessions bit-identically. Observes serve.drain.seconds.
+  void drain();
 
   /// Admission-controlled submit; synchronous Ticket (see queue.hpp).
   Ticket submit(Request req);
@@ -94,6 +116,7 @@ class Server {
     int tenant = 0;
     std::unique_ptr<pipeline::Session> session;
     std::uint64_t t_submit_ns = 0;
+    std::uint64_t deadline_ns = 0; ///< absolute mono ns; 0 = none
   };
 
   void scheduler_loop();
@@ -115,6 +138,7 @@ class Server {
   Stats stats_;
   bool running_ = false;
   bool stopping_ = false;
+  bool draining_ = false;
   std::thread thread_;
 };
 

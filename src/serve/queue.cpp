@@ -33,8 +33,19 @@ const char* reject_name(Reject r) {
     case Reject::kTenantQuota: return "tenant_quota";
     case Reject::kStopped: return "stopped";
     case Reject::kBadRequest: return "bad_request";
+    case Reject::kDeadline: return "deadline";
+    case Reject::kOverload: return "overload";
   }
   return "?";
+}
+
+void count_reject(Reject why, int tenant) {
+  auto& reg = obs::Registry::global();
+  reg.counter("serve.requests.rejected").add(1);
+  const std::string reason = reject_name(why);
+  reg.counter("serve.rejected." + reason).add(1);
+  reg.counter("serve.rejected." + reason + ".t" + std::to_string(tenant))
+      .add(1);
 }
 
 RequestQueue::RequestQueue(std::size_t capacity, std::size_t tenant_quota)
@@ -43,9 +54,7 @@ RequestQueue::RequestQueue(std::size_t capacity, std::size_t tenant_quota)
 Ticket RequestQueue::push(Request req) {
   auto& reg = obs::Registry::global();
   const auto reject = [&](Reject why) {
-    reg.counter("serve.requests.rejected").add(1);
-    reg.counter(std::string("serve.requests.rejected.") + reject_name(why))
-        .add(1);
+    count_reject(why, req.tenant);
     return Ticket{false, why, req.id};
   };
 

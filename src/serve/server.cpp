@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "mlmd/ft/fault.hpp"
 #include "mlmd/obs/metrics.hpp"
 
 namespace mlmd::serve {
@@ -72,11 +74,30 @@ void Server::stop() {
 }
 
 Ticket Server::submit(Request req) {
+  if (req.deadline_ms <= 0.0 && opt_.default_deadline_ms > 0.0)
+    req.deadline_ms = opt_.default_deadline_ms;
+  // Load shedding: under sustained overload the queue wait itself is the
+  // signal — once the p95 crosses the watermark (and there IS a backlog;
+  // an idle server's stale p95 must not shed), reject instead of queueing
+  // work that will blow its deadline anyway.
+  if (opt_.shed_watermark_ms > 0.0 && queue_.size() > 0) {
+    auto& reg = obs::Registry::global();
+    const double p95_ms =
+        reg.histogram("serve.queue.wait_seconds").quantile(0.95) * 1e3;
+    if (p95_ms > opt_.shed_watermark_ms) {
+      count_reject(Reject::kOverload, req.tenant);
+      reg.counter("serve.shed").add(1);
+      return Ticket{false, Reject::kOverload, req.id};
+    }
+  }
   const long id = req.id;
   {
     // Stamp before push: the scheduler may pop (and need the submit time)
     // the instant the request is queued.
     std::lock_guard lk(mu_);
+    // A resubmit of a reaped/drained id resumes from its kept checkpoint;
+    // drop the stale outcome so wait(id) blocks for the new run.
+    outcomes_.erase(id);
     submitted_[id] = mono_ns();
     ++pending_;
   }
@@ -114,9 +135,31 @@ Server::Stats Server::stats() const {
   return stats_;
 }
 
+void Server::drain() {
+  const std::uint64_t t0 = mono_ns();
+  {
+    std::lock_guard lk(mu_);
+    draining_ = true;
+  }
+  queue_.stop();
+  cv_work_.notify_all();
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+  }
+  obs::Registry::global()
+      .histogram("serve.drain.seconds")
+      .observe(static_cast<double>(mono_ns() - t0) * 1e-9);
+}
+
 void Server::complete(Active& a, Outcome out) {
-  // The scenario is terminal: its warm-restart checkpoint is obsolete.
-  if (!opt_.checkpoint_dir.empty())
+  // The scenario is terminal: its warm-restart checkpoint is obsolete —
+  // EXCEPT when it was reaped at a deadline or drained at shutdown. Those
+  // keep the checkpoint, so a resubmit of the same id resumes where the
+  // scenario was cut off instead of restarting from scratch.
+  const bool keep_ckpt =
+      out.reject == Reject::kDeadline || out.reject == Reject::kStopped;
+  if (!opt_.checkpoint_dir.empty() && !keep_ckpt)
     std::remove(ckpt_path(opt_.checkpoint_dir, a.id).c_str());
   queue_.on_done(a.tenant);
 
@@ -127,7 +170,15 @@ void Server::complete(Active& a, Outcome out) {
     reg.histogram("serve.latency_seconds.t" + std::to_string(a.tenant))
         .observe(lat);
   }
-  reg.counter(out.ok ? "serve.completed" : "serve.failed").add(1);
+  if (out.reject == Reject::kDeadline) {
+    reg.counter("serve.deadline.hits").add(1);
+    reg.counter("serve.deadline.hits.t" + std::to_string(a.tenant)).add(1);
+    count_reject(Reject::kDeadline, a.tenant);
+  } else if (out.reject == Reject::kStopped) {
+    reg.counter("serve.drained").add(1);
+  } else {
+    reg.counter(out.ok ? "serve.completed" : "serve.failed").add(1);
+  }
 
   std::lock_guard lk(mu_);
   if (out.ok)
@@ -147,6 +198,20 @@ bool Server::activate(Request req) {
     std::lock_guard lk(mu_);
     auto it = submitted_.find(req.id);
     a.t_submit_ns = it == submitted_.end() ? 0 : it->second;
+  }
+  if (req.deadline_ms > 0.0 && a.t_submit_ns)
+    a.deadline_ns =
+        a.t_submit_ns + static_cast<std::uint64_t>(req.deadline_ms * 1e6);
+  // A request that overshot its deadline while still QUEUED is reaped
+  // here, before stages 1-2 are built for nothing. An earlier incarnation's
+  // checkpoint (if any) survives: complete() keeps it for kDeadline.
+  if (a.deadline_ns && mono_ns() > a.deadline_ns) {
+    Outcome out;
+    out.reject = Reject::kDeadline;
+    out.error = "deadline exceeded (" + std::to_string(req.deadline_ms) +
+                " ms) while queued";
+    complete(a, std::move(out));
+    return false;
   }
   try {
     if (!req.gs_model.empty()) {
@@ -187,8 +252,52 @@ void Server::scheduler_loop() {
   auto& reg = obs::Registry::global();
   auto& active_gauge = reg.gauge("serve.active_sessions");
   long round = 0;
+  bool term_raised = false;
 
   for (;;) {
+    // Graceful drain: admission is already closed (drain() stopped the
+    // queue); checkpoint every live session and reap everything with
+    // kStopped — checkpoints KEPT — so a restart resumes the whole load.
+    bool draining;
+    {
+      std::lock_guard lk(mu_);
+      draining = draining_;
+    }
+    if (draining) {
+      Request r;
+      while (queue_.pop(r)) {
+        Active a;
+        a.id = r.id;
+        a.tenant = r.tenant;
+        {
+          std::lock_guard lk(mu_);
+          auto it = submitted_.find(r.id);
+          a.t_submit_ns = it == submitted_.end() ? 0 : it->second;
+        }
+        Outcome out;
+        out.reject = Reject::kStopped;
+        out.error = "server draining";
+        complete(a, std::move(out));
+        r = Request{};
+      }
+      for (auto& a : active_) {
+        Outcome out;
+        out.reject = Reject::kStopped;
+        out.error = "server draining";
+        out.result = a.session->result();
+        if (!opt_.checkpoint_dir.empty()) {
+          try {
+            a.session->write_checkpoint(ckpt_path(opt_.checkpoint_dir, a.id));
+          } catch (const std::exception& e) {
+            out.error = std::string("drain checkpoint failed: ") + e.what();
+          }
+        }
+        complete(a, std::move(out));
+      }
+      active_.clear();
+      break;
+    }
+
     // Admit queued requests into free slots (tenant round-robin).
     {
       Request r;
@@ -203,7 +312,8 @@ void Server::scheduler_loop() {
       std::unique_lock lk(mu_);
       if (queue_.size() == 0) {
         if (stopping_) break;
-        cv_work_.wait(lk, [&] { return stopping_ || queue_.size() > 0; });
+        cv_work_.wait(
+            lk, [&] { return stopping_ || draining_ || queue_.size() > 0; });
         if (stopping_ && queue_.size() == 0) break;
       }
       continue;
@@ -215,6 +325,58 @@ void Server::scheduler_loop() {
       // SIGKILL, so no destructor or flush softens the exercise.
       std::raise(SIGKILL);
     }
+    if (opt_.term_at_round > 0 && round >= opt_.term_at_round &&
+        !term_raised) {
+      // Deterministic drain trigger: the real SIGTERM, delivered through
+      // the daemon's handler exactly as an orchestrator would send it.
+      term_raised = true;
+      std::raise(SIGTERM);
+    }
+    // Chaos: injected scheduler stall / straggle (stall@.../slow_rank@...
+    // fault entries, ctest -L chaos) — the scheduler sleeps, deadlines
+    // keep ticking, and the deadline reap below must still fire.
+    if (const double d = ft::hook_delay(-1); d > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(d));
+
+    // Cooperative deadline enforcement at step boundaries: reap expired
+    // sessions before spending another step on them. The session
+    // checkpoints first (complete() keeps it for kDeadline), so the
+    // tenant can resubmit and resume. Cost when no deadline is armed: one
+    // pointer walk, no clock read.
+    {
+      bool any_deadline = false;
+      for (const auto& a : active_)
+        if (a.deadline_ns) {
+          any_deadline = true;
+          break;
+        }
+      if (any_deadline) {
+        const std::uint64_t now = mono_ns();
+        for (std::size_t i = 0; i < active_.size();) {
+          Active& a = active_[i];
+          if (!a.deadline_ns || now <= a.deadline_ns) {
+            ++i;
+            continue;
+          }
+          Outcome out;
+          out.reject = Reject::kDeadline;
+          out.error = "deadline exceeded";
+          out.result = a.session->result();
+          if (!opt_.checkpoint_dir.empty()) {
+            try {
+              a.session->write_checkpoint(
+                  ckpt_path(opt_.checkpoint_dir, a.id));
+            } catch (const std::exception& e) {
+              out.error = std::string("deadline checkpoint failed: ") +
+                          e.what();
+            }
+          }
+          complete(a, std::move(out));
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+    if (active_.empty()) continue;
 
     // One stage-3 step for every active session this round. Sessions that
     // can join a fused inference batch are grouped by model identity and

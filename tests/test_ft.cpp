@@ -348,6 +348,63 @@ TEST(WithRetry, BackoffScheduleIsInjectableAndExponential) {
   EXPECT_DOUBLE_EQ(recorded_backoffs()[2], 1.0);
 }
 
+TEST(WithRetry, JitterIsDeterministicFromItsSeed) {
+  // Jitter decorrelates retry storms across ranks, but must stay
+  // reproducible: the perturbed schedule is a pure function of
+  // jitter_seed, asserted exactly by replaying the same Rng stream.
+  recorded_backoffs().clear();
+  ASSERT_EQ(ft::set_backoff_sleep(&recording_sleep), nullptr);
+  ft::RetryOptions opt;
+  opt.max_attempts = 4;
+  opt.backoff_seconds = 0.25;
+  opt.backoff_multiplier = 2.0;
+  opt.jitter = 0.5;
+  opt.jitter_seed = 17;
+  EXPECT_THROW(ft::with_retry(
+                   [&]() -> void { throw ft::TransientCommFault("always"); },
+                   opt),
+               ft::TransientError);
+  EXPECT_EQ(ft::set_backoff_sleep(nullptr), &recording_sleep);
+  ASSERT_EQ(recorded_backoffs().size(), 3u);
+  Rng replay(opt.jitter_seed);
+  const std::array<double, 3> base = {0.25, 0.5, 1.0};
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double expect =
+        base[i] * (1.0 + opt.jitter * (replay.uniform() - 0.5));
+    EXPECT_DOUBLE_EQ(recorded_backoffs()[i], expect);
+    // jitter=0.5 bounds every sleep within +/-25% of the exponential base.
+    EXPECT_GE(recorded_backoffs()[i], base[i] * 0.75);
+    EXPECT_LE(recorded_backoffs()[i], base[i] * 1.25);
+  }
+}
+
+TEST(WithRetry, TotalElapsedCapTruncatesLastSleepAndStops) {
+  // max_total_seconds bounds the whole retry episode, not just the
+  // attempt count: the sleep that would overshoot is truncated to land
+  // exactly on the cap, and the next failure rethrows with budget spent.
+  recorded_backoffs().clear();
+  ASSERT_EQ(ft::set_backoff_sleep(&recording_sleep), nullptr);
+  ft::RetryOptions opt;
+  opt.max_attempts = 10;
+  opt.backoff_seconds = 0.25;
+  opt.backoff_multiplier = 2.0;
+  opt.max_total_seconds = 0.6;
+  int calls = 0;
+  EXPECT_THROW(ft::with_retry(
+                   [&]() -> void {
+                     ++calls;
+                     throw ft::TransientCommFault("always");
+                   },
+                   opt),
+               ft::TransientError);
+  EXPECT_EQ(ft::set_backoff_sleep(nullptr), &recording_sleep);
+  EXPECT_EQ(calls, 3); // budget exhausted long before max_attempts
+  ASSERT_EQ(recorded_backoffs().size(), 2u);
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[0], 0.25);
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[1], 0.35); // 0.5 truncated to the cap
+  EXPECT_DOUBLE_EQ(recorded_backoffs()[0] + recorded_backoffs()[1], 0.6);
+}
+
 // ---------------------------------------------------------------------------
 // StepSentinel
 // ---------------------------------------------------------------------------

@@ -192,6 +192,36 @@ TEST(RequestQueue, StructurallyInvalidRequestsAreRejected) {
   EXPECT_TRUE(q.push(neural).accepted);
 }
 
+TEST(RequestQueue, PerReasonRejectCountersHavePerTenantLanes) {
+  // Every typed reject lands on three obs lanes: the global roll-up, the
+  // per-reason counter, and the per-tenant per-reason lane — so a
+  // dashboard can tell WHOSE requests die and WHY.
+  obs::Registry::global().reset();
+  RequestQueue q(2, /*tenant_quota=*/1);
+  ASSERT_TRUE(q.push(exact_request(0, 1)).accepted);
+  EXPECT_EQ(q.push(exact_request(0, 2)).reason, Reject::kTenantQuota);
+  ASSERT_TRUE(q.push(exact_request(1, 3)).accepted);
+  EXPECT_EQ(q.push(exact_request(2, 4)).reason, Reject::kQueueFull);
+  EXPECT_EQ(q.push(exact_request(2, 5)).reason, Reject::kQueueFull);
+  auto bad = exact_request(3, 6);
+  bad.opt.lattice = 0;
+  EXPECT_EQ(q.push(bad).reason, Reject::kBadRequest);
+  q.stop();
+  EXPECT_EQ(q.push(exact_request(0, 7)).reason, Reject::kStopped);
+
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("serve.requests.rejected").value(), 5u);
+  EXPECT_EQ(reg.counter("serve.rejected.tenant_quota").value(), 1u);
+  EXPECT_EQ(reg.counter("serve.rejected.tenant_quota.t0").value(), 1u);
+  EXPECT_EQ(reg.counter("serve.rejected.queue_full").value(), 2u);
+  EXPECT_EQ(reg.counter("serve.rejected.queue_full.t2").value(), 2u);
+  EXPECT_EQ(reg.counter("serve.rejected.bad_request").value(), 1u);
+  EXPECT_EQ(reg.counter("serve.rejected.bad_request.t3").value(), 1u);
+  EXPECT_EQ(reg.counter("serve.rejected.stopped.t0").value(), 1u);
+  // Untouched lanes stay zero: reasons never blur into each other.
+  EXPECT_EQ(reg.counter("serve.rejected.queue_full.t0").value(), 0u);
+}
+
 // --- batched inference bitwise identity -------------------------------------
 
 ferro::FerroLattice random_lattice(std::size_t n, int seed) {

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cmath>
+#include <csignal>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -383,6 +384,54 @@ TEST_P(TransportConformance, RecvIntoReusesBufferAndSendrecvMatches) {
     count_rank_failures(c, ok, &failures, &mu);
   });
   EXPECT_EQ(failures, 0);
+}
+
+// --- peer death (SIGKILL) --------------------------------------------------
+
+// A peer that dies without unwinding (SIGKILL: no destructors, no error
+// record written) must still resolve into the tagged cross-process error
+// taxonomy at the survivors — never a hang. Under shm, rank 1 is a
+// forked child and really is SIGKILLed; the waitpid watchdog claims the
+// error ("killed by signal 9") and poisons the group. Inproc ranks are
+// threads of the test process, so the death is simulated by a fatal
+// throw carrying the same message shape — the survivor-side contract
+// (typed error, same text fragment) is identical either way.
+
+TEST_P(TransportConformance, PeerSigkillMidCollectiveSurfacesTypedError) {
+  try {
+    run_k(3, [&](Comm& c) {
+      if (c.rank() == 1) {
+        if (kind() == TransportKind::kShm) std::raise(SIGKILL);
+        throw std::runtime_error("killed by signal 9 (simulated)");
+      }
+      auto x = c.allgather(c.rank()); // blocks until the death is detected
+      (void)x;
+    });
+    FAIL() << "expected the peer death to surface as a typed error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("killed by signal"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST_P(TransportConformance, PeerSigkillMidIrecvSurfacesTypedError) {
+  try {
+    run_k(2, [&](Comm& c) {
+      if (c.rank() == 1) {
+        if (kind() == TransportKind::kShm) std::raise(SIGKILL);
+        throw std::runtime_error("killed by signal 9 (simulated)");
+      }
+      auto h = c.irecv(1, 0); // never satisfiable: the sender is dead
+      auto x = c.wait<double>(h);
+      (void)x;
+    });
+    FAIL() << "expected the peer death to surface as a typed error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("killed by signal"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
